@@ -1,0 +1,49 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"existdlog/internal/experiments"
+	"existdlog/internal/harness"
+)
+
+// cmdBench runs the full experiment suite of EXPERIMENTS.md and prints
+// each table plus the E12 capability matrix.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	only := fs.String("only", "", "run a single experiment id (e.g. E3)")
+	fs.Parse(args)
+
+	exps, err := experiments.All()
+	if err != nil {
+		return err
+	}
+	for _, e := range exps {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		fmt.Printf("claim: %s\n", e.Claim)
+		rows, err := e.Run()
+		if err != nil {
+			return err
+		}
+		harness.WriteTable(os.Stdout, rows)
+		if len(e.Variants) >= 2 {
+			fmt.Println("speedups (first variant vs last):")
+			fmt.Print(harness.Speedup(rows, e.Variants[0].Name, e.Variants[len(e.Variants)-1].Name))
+		}
+		fmt.Println()
+	}
+	if *only == "" || *only == "E12" {
+		fmt.Println("== E12: deletion capability matrix (rules remaining per test) ==")
+		mat, err := experiments.CapabilityMatrix()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCapabilityMatrix(mat))
+	}
+	return nil
+}

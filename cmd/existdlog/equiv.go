@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"existdlog"
+	"existdlog/internal/grammar"
+	"existdlog/internal/uniform"
+)
+
+// cmdEquiv compares two programs under the paper's notions of equivalence
+// (Section 4): uniform equivalence (decidable, Sagiv), exact query
+// equivalence for linear chain programs (Lemma 4.1 via DFA comparison),
+// and the bounded language checks for everything else.
+func cmdEquiv(args []string) error {
+	fs := flag.NewFlagSet("equiv", flag.ExitOnError)
+	maxLen := fs.Int("len", 8, "bound for the language-based checks")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("equiv: expected two program files")
+	}
+	p1, _, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	p2, _, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	ue, err := uniform.Equivalent(p1, p2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uniform equivalence (decidable, Sagiv):      %v\n", ue)
+
+	g1, err1 := grammar.FromChainProgram(p1)
+	g2, err2 := grammar.FromChainProgram(p2)
+	if err1 != nil || err2 != nil {
+		fmt.Println("chain-program analysis: not applicable (not binary chain programs)")
+		return nil
+	}
+	if qe, err := existdlog.ChainQueryEquivalent(p1, p2); err == nil {
+		fmt.Printf("query equivalence (exact, regular fragment): %v\n", qe)
+	} else {
+		fmt.Printf("query equivalence (exact): %v\n", err)
+		fmt.Printf("query equivalence (bounded, len<=%d):         %v\n",
+			*maxLen, grammar.EqualUpTo(g1, g2, *maxLen))
+	}
+	fmt.Printf("DB equivalence (bounded, len<=%d):            %v\n",
+		*maxLen, grammar.DBEqualUpTo(g1, g2, *maxLen))
+	fmt.Printf("uniform query equivalence (bounded, len<=%d): %v\n",
+		*maxLen, grammar.ExtendedEqualUpTo(g1, g2, *maxLen))
+	return nil
+}

@@ -1,0 +1,331 @@
+// Command existdlog is the command-line front end to the existential
+// Datalog optimizer:
+//
+//	existdlog optimize [-mode 51|53] [-magic] file.dl   step-by-step optimization report
+//	existdlog adorn file.dl                             print the adorned program
+//	existdlog run [-noopt] [-nocut] [-naive] file.dl    evaluate and print answers + stats
+//	existdlog explain file.dl 'a@nd(1)'                 print a derivation tree
+//	existdlog grammar file.dl                           chain-program/grammar analysis
+//	existdlog equiv left.dl right.dl                    Section 4 equivalence report
+//	existdlog bench                                     run the experiment suite tables
+//
+// Program files contain rules, ground facts, and one "?- goal." query in
+// the syntax of the parser package (p@nd writes the paper's p^nd).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"existdlog"
+	"existdlog/internal/adorn"
+	"existdlog/internal/grammar"
+	"existdlog/internal/parser"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
+	case "adorn":
+		err = cmdAdorn(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "grammar":
+		err = cmdGrammar(os.Args[2:])
+	case "equiv":
+		err = cmdEquiv(os.Args[2:])
+	case "repl":
+		err = cmdRepl(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "existdlog:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: existdlog <command> [flags] [file]
+
+commands:
+  optimize   print the optimization pipeline report for a program
+  adorn      print the existentially adorned program
+  run        evaluate a program over its facts and print the answers
+  explain    print the derivation tree of one answer
+  grammar    analyze a binary chain program as a grammar
+  equiv      compare two programs under the paper's equivalences
+  repl       interactive session (rules, facts, and ?- queries)
+  bench      run the experiment suite and print its tables
+`)
+}
+
+func load(path string) (*existdlog.Program, *existdlog.Database, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return existdlog.Parse(string(src))
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	mode := fs.String("mode", "53", "summary deletion mode: 51 or 53")
+	magicFlag := fs.Bool("magic", false, "finish with the magic-sets rewriting")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("optimize: expected one program file")
+	}
+	prog, _, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := existdlog.DefaultOptions()
+	if *mode == "51" {
+		opts.DeletionMode = existdlog.Lemma51
+	}
+	opts.MagicSets = *magicFlag
+	res, err := existdlog.Optimize(prog, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== input ==")
+	fmt.Print(prog.String())
+	for _, s := range res.Steps {
+		fmt.Printf("\n== after %s ==\n", s.Name)
+		for _, n := range s.Notes {
+			fmt.Printf("%% %s\n", n)
+		}
+		fmt.Print(s.Program)
+	}
+	if len(res.Deletions) > 0 {
+		fmt.Println("\n== deletions ==")
+		for _, d := range res.Deletions {
+			fmt.Printf("- %s\n    %s\n", d.Rule, d.Reason)
+		}
+	}
+	if res.EmptyAnswer {
+		fmt.Println("\n== the answer is empty (proved at compile time) ==")
+	}
+	return nil
+}
+
+func cmdAdorn(args []string) error {
+	fs := flag.NewFlagSet("adorn", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("adorn: expected one program file")
+	}
+	prog, _, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ad, err := adorn.Adorn(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ad.String())
+	return nil
+}
+
+// relFlags accumulates repeated -rel name=path.csv flags.
+type relFlags []string
+
+func (r *relFlags) String() string     { return strings.Join(*r, ",") }
+func (r *relFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	noopt := fs.Bool("noopt", false, "evaluate the program as written")
+	nocut := fs.Bool("nocut", false, "disable the runtime boolean cut")
+	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
+	reorder := fs.Bool("reorder", false, "greedy bound-first join reordering")
+	maxAnswers := fs.Int("max", 50, "print at most this many answers (0 = all)")
+	var rels relFlags
+	fs.Var(&rels, "rel", "load a relation from CSV: -rel name=path.csv (repeatable)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run: expected one program file")
+	}
+	prog, db, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, spec := range rels {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("run: -rel wants name=path.csv, got %q", spec)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		n, err := db.LoadCSV(name, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%% loaded %d rows into %s from %s\n", n, name, path)
+	}
+	if prog.Query.Pred == "" {
+		return fmt.Errorf("run: the program has no ?- query")
+	}
+	goal := prog.Query
+	if !*noopt {
+		res, err := existdlog.Optimize(prog, existdlog.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		prog = res.Program
+		goal = prog.Query
+		if res.EmptyAnswer {
+			fmt.Println("answer proved empty at compile time")
+			return nil
+		}
+	}
+	opts := existdlog.EvalOptions{BooleanCut: !*nocut, ReorderJoins: *reorder}
+	if *naive {
+		opts.Strategy = existdlog.Naive
+	}
+	res, err := existdlog.Eval(prog, db, opts)
+	if err != nil {
+		return err
+	}
+	answers := res.Answers(goal)
+	for i, row := range answers {
+		if *maxAnswers > 0 && i >= *maxAnswers {
+			fmt.Printf("... and %d more\n", len(answers)-i)
+			break
+		}
+		fmt.Printf("%s(%s)\n", goal.Key(), strings.Join(row, ","))
+	}
+	s := res.Stats
+	fmt.Printf("%% %d answers; %d facts derived in %d iterations; %d derivations (%d duplicates); %d join probes; %d rules retired\n",
+		len(answers), s.FactsDerived, s.Iterations, s.Derivations, s.DuplicateHits, s.JoinProbes, s.RulesRetired)
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("explain: expected a program file and a ground goal like 'a(1,2)'")
+	}
+	prog, db, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	goalRes, err := parser.Parse("?- " + fs.Arg(1) + ".")
+	if err != nil {
+		return fmt.Errorf("explain: bad goal: %w", err)
+	}
+	goal := goalRes.Program.Query
+	if !goal.IsGround() {
+		return fmt.Errorf("explain: goal must be ground")
+	}
+	res, err := existdlog.Eval(prog, db, existdlog.EvalOptions{TrackProvenance: true})
+	if err != nil {
+		return err
+	}
+	row := make([]string, len(goal.Args))
+	for i, t := range goal.Args {
+		row[i] = t.Name
+	}
+	tree, ok := res.Derivation(goal.Key(), row)
+	if !ok {
+		fmt.Printf("%s is not derivable\n", fs.Arg(1))
+		return nil
+	}
+	printTree(tree, prog, res, 0)
+	return nil
+}
+
+func printTree(t *existdlog.Tree, prog *existdlog.Program, res *existdlog.EvalResult, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := t.Fact.Key
+	if len(t.Fact.Row) > 0 {
+		label = fmt.Sprintf("%s(%s)", t.Fact.Key, strings.Join(res.RowStrings(t.Fact.Row), ","))
+	}
+	if t.Rule >= 0 && t.Rule < len(prog.Rules) {
+		fmt.Printf("%s%s   [rule %d: %s]\n", indent, label, t.Rule+1, prog.Rules[t.Rule])
+	} else {
+		fmt.Printf("%s%s   [base fact]\n", indent, label)
+	}
+	for _, c := range t.Children {
+		printTree(c, prog, res, depth+1)
+	}
+}
+
+func cmdGrammar(args []string) error {
+	fs := flag.NewFlagSet("grammar", flag.ExitOnError)
+	maxLen := fs.Int("len", 5, "enumerate languages up to this length")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("grammar: expected one program file")
+	}
+	prog, _, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, err := grammar.FromChainProgram(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("start symbol: %s\n", g.Start)
+	fmt.Printf("classification: %v\n", classString(grammar.Classify(g)))
+	fmt.Printf("L(G) up to length %d:\n", *maxLen)
+	for _, s := range g.Language(*maxLen) {
+		fmt.Printf("  %s\n", strings.Join(s, " "))
+	}
+	fmt.Printf("extended language up to length %d:\n", *maxLen)
+	for _, s := range g.ExtendedLanguage(*maxLen) {
+		fmt.Printf("  %s\n", strings.Join(s, " "))
+	}
+	for _, ad := range []existdlog.Adornment{"dn", "nd"} {
+		mp, err := grammar.MonadicFromChain(prog, ad)
+		if err != nil {
+			fmt.Printf("monadic construction (%s): %v\n", ad, err)
+			continue
+		}
+		fmt.Printf("monadic program for query %s@%s (Theorem 3.3):\n", g.Start, ad)
+		fmt.Print(indentLines(mp.Program.String(), "  "))
+	}
+	return nil
+}
+
+func classString(c grammar.Linearity) string {
+	switch c {
+	case grammar.RightLinear:
+		return "right-linear (regular)"
+	case grammar.LeftLinear:
+		return "left-linear (regular)"
+	case grammar.Acyclic:
+		return "acyclic (trivially regular)"
+	default:
+		return "not linear (regularity undecidable)"
+	}
+}
+
+func indentLines(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestCmdRun(t *testing.T) {
+	out := capture(t, func() error { return cmdRun([]string{"testdata/example1.dl"}) })
+	for _, want := range []string{"query@n(1)", "query@n(2)", "query@n(3)", "answers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "query@n(4)") {
+		t.Errorf("node 4 has no outgoing edge:\n%s", out)
+	}
+}
+
+func TestCmdRunNoopt(t *testing.T) {
+	out := capture(t, func() error { return cmdRun([]string{"-noopt", "testdata/example1.dl"}) })
+	if !strings.Contains(out, "query(1)") {
+		t.Errorf("unoptimized run output:\n%s", out)
+	}
+}
+
+func TestCmdRunEmptyAnswer(t *testing.T) {
+	out := capture(t, func() error { return cmdRun([]string{"testdata/empty.dl"}) })
+	if !strings.Contains(out, "proved empty at compile time") {
+		t.Errorf("empty.dl output:\n%s", out)
+	}
+}
+
+func TestCmdOptimize(t *testing.T) {
+	out := capture(t, func() error { return cmdOptimize([]string{"testdata/example1.dl"}) })
+	for _, want := range []string{"== input ==", "after adorn", "after push-projections", "a@nd(X)", "deletions"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("optimize output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdAdorn(t *testing.T) {
+	out := capture(t, func() error { return cmdAdorn([]string{"testdata/example1.dl"}) })
+	if !strings.Contains(out, "a@nd(X,Y)") {
+		t.Errorf("adorn output:\n%s", out)
+	}
+}
+
+func TestCmdExplain(t *testing.T) {
+	out := capture(t, func() error { return cmdExplain([]string{"testdata/example1.dl", "a(1,3)"}) })
+	if !strings.Contains(out, "a(1,3)") || !strings.Contains(out, "[base fact]") {
+		t.Errorf("explain output:\n%s", out)
+	}
+	out = capture(t, func() error { return cmdExplain([]string{"testdata/example1.dl", "a(3,1)"}) })
+	if !strings.Contains(out, "not derivable") {
+		t.Errorf("explain of underivable fact:\n%s", out)
+	}
+}
+
+func TestCmdGrammar(t *testing.T) {
+	out := capture(t, func() error { return cmdGrammar([]string{"testdata/chain.dl"}) })
+	for _, want := range []string{"right-linear", "L(G)", "monadic program"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grammar output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdBenchSingle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench tables take seconds")
+	}
+	out := capture(t, func() error { return cmdBench([]string{"-only", "E4"}) })
+	if !strings.Contains(out, "E4") || !strings.Contains(out, "speedups") {
+		t.Errorf("bench output:\n%s", out)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	if err := cmdRun([]string{"testdata/missing.dl"}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := cmdOptimize([]string{}); err == nil {
+		t.Error("missing argument should error")
+	}
+	if err := cmdExplain([]string{"testdata/example1.dl", "a(X,3)"}); err == nil {
+		t.Error("non-ground goal should error")
+	}
+}
+
+func TestCmdEquiv(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdEquiv([]string{"testdata/leftlinear.dl", "testdata/rightlinear.dl"})
+	})
+	if !strings.Contains(out, "uniform equivalence (decidable, Sagiv):      false") {
+		t.Errorf("equiv output:\n%s", out)
+	}
+	if !strings.Contains(out, "uniform query equivalence") {
+		t.Errorf("equiv output:\n%s", out)
+	}
+	out = capture(t, func() error {
+		return cmdEquiv([]string{"testdata/rightlinear.dl", "testdata/rightlinear.dl"})
+	})
+	if !strings.Contains(out, "query equivalence (exact, regular fragment): true") {
+		t.Errorf("self-equivalence output:\n%s", out)
+	}
+}
+
+func TestCmdRunCSV(t *testing.T) {
+	out := capture(t, func() error {
+		return cmdRun([]string{"-rel", "e=testdata/edges.csv", "testdata/csvquery.dl"})
+	})
+	for _, want := range []string{"loaded 3 rows", "reach@n(n1)", "reach@n(n3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv run missing %q:\n%s", want, out)
+		}
+	}
+	if err := cmdRun([]string{"-rel", "broken", "testdata/csvquery.dl"}); err == nil {
+		t.Error("malformed -rel should error")
+	}
+}
+
+func TestReplSession(t *testing.T) {
+	var out strings.Builder
+	sess := &replSession{out: &out, optimize: true}
+	script := []string{
+		"a(X,Y) :- p(X,Z), a(Z,Y).",
+		"a(X,Y) :- p(X,Y).",
+		"p(1,2). p(2,3).",
+		"?- a(1,X).",
+		":rules",
+		":facts",
+		":optimize",
+		"bogus line without dot",
+		":nope",
+	}
+	for _, line := range script {
+		if err := sess.handle(line); err != nil && !strings.Contains(err.Error(), "clauses end") &&
+			!strings.Contains(err.Error(), "unknown command") {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	got := out.String()
+	for _, want := range []string{"a@nn(1,2)", "a@nn(1,3)", "2 answers", "a(X,Y) :- p(X,Z), a(Z,Y)."} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repl output missing %q:\n%s", want, got)
+		}
+	}
+	if err := sess.handle(":quit"); err != errReplQuit {
+		t.Errorf("quit returned %v", err)
+	}
+	// Streamed run with a reader.
+	var out2 strings.Builder
+	sess2 := &replSession{out: &out2, optimize: true}
+	in := strings.NewReader("e(a,b).\nr(X,Y) :- e(X,Y).\n?- r(X,Y).\n:quit\n")
+	if err := sess2.run(in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "r@nn(a,b)") && !strings.Contains(out2.String(), "r(a,b)") {
+		t.Errorf("streamed repl output:\n%s", out2.String())
+	}
+}
+
+func TestReplLoadFile(t *testing.T) {
+	var out strings.Builder
+	sess := &replSession{out: &out, optimize: true}
+	if err := sess.loadFile("testdata/example1.dl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.handle("?- query(X)."); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3 answers") {
+		t.Errorf("load+query output:\n%s", out.String())
+	}
+}

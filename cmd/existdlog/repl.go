@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"existdlog"
+	"existdlog/internal/parser"
+)
+
+// cmdRepl runs an interactive session: rules and facts accumulate, and
+// each "?- goal." is optimized and evaluated on the spot.
+func cmdRepl(args []string) error {
+	fs := flag.NewFlagSet("repl", flag.ExitOnError)
+	noopt := fs.Bool("noopt", false, "evaluate queries without optimizing")
+	fs.Parse(args)
+	sess := &replSession{out: os.Stdout, optimize: !*noopt}
+	for _, path := range fs.Args() {
+		if err := sess.loadFile(path); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(sess.out, "existdlog repl — rules and facts accumulate; '?- goal.' queries; :help for commands")
+	return sess.run(os.Stdin)
+}
+
+type replSession struct {
+	out       io.Writer
+	optimize  bool
+	rules     []string
+	facts     []string
+	factCount int // parsed facts (a line may hold several)
+	lastGoal  string
+}
+
+func (s *replSession) run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(s.out, "> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if err := s.handle(line); err != nil {
+			if err == errReplQuit {
+				return nil
+			}
+			fmt.Fprintln(s.out, "error:", err)
+		}
+		fmt.Fprint(s.out, "> ")
+	}
+	fmt.Fprintln(s.out)
+	return sc.Err()
+}
+
+var errReplQuit = fmt.Errorf("quit")
+
+func (s *replSession) handle(line string) error {
+	switch {
+	case line == "" || strings.HasPrefix(line, "%"):
+		return nil
+	case line == ":quit" || line == ":q":
+		return errReplQuit
+	case line == ":help":
+		fmt.Fprint(s.out, `  p(X) :- q(X,Y).   add a rule
+  q(1,2).           add a fact
+  ?- p(X).          run a query (optimized unless -noopt)
+  :load FILE        load rules and facts from a file
+  :rules            list the current rules
+  :facts            list the current facts
+  :optimize         show the optimized program for the last query
+  :clear            forget everything
+  :quit             leave
+`)
+		return nil
+	case line == ":rules":
+		for _, r := range s.rules {
+			fmt.Fprintln(s.out, r)
+		}
+		return nil
+	case line == ":facts":
+		for _, f := range s.facts {
+			fmt.Fprintln(s.out, f)
+		}
+		return nil
+	case line == ":clear":
+		s.rules, s.facts, s.factCount = nil, nil, 0
+		return nil
+	case strings.HasPrefix(line, ":load "):
+		return s.loadFile(strings.TrimSpace(strings.TrimPrefix(line, ":load ")))
+	case line == ":optimize":
+		return s.showOptimized()
+	case strings.HasPrefix(line, ":"):
+		return fmt.Errorf("unknown command %q (:help)", line)
+	case strings.HasPrefix(line, "?-"):
+		return s.query(line)
+	default:
+		return s.addClause(line)
+	}
+}
+
+func (s *replSession) loadFile(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "?-") {
+			continue // stored queries are not replayed
+		}
+		if err := s.addClause(line); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	fmt.Fprintf(s.out, "loaded %s (%d rules, %d facts)\n", path, len(s.rules), len(s.facts))
+	return nil
+}
+
+// addClause validates a single rule or fact against the accumulated
+// program before admitting it.
+func (s *replSession) addClause(line string) error {
+	if !strings.HasSuffix(line, ".") {
+		return fmt.Errorf("clauses end with '.'")
+	}
+	all := strings.Join(s.rules, "\n") + "\n" + strings.Join(s.facts, "\n") + "\n" + line
+	res, err := parser.Parse(all)
+	if err != nil {
+		return err
+	}
+	// Classify the admitted line by whether the parsed fact count grew (a
+	// line may carry several clauses).
+	if len(res.Facts) > s.factCount {
+		s.facts = append(s.facts, line)
+	} else {
+		s.rules = append(s.rules, line)
+	}
+	s.factCount = len(res.Facts)
+	return nil
+}
+
+func (s *replSession) program(goal string) (*existdlog.Program, *existdlog.Database, error) {
+	src := strings.Join(s.rules, "\n") + "\n" + strings.Join(s.facts, "\n") + "\n" + goal + "\n"
+	return existdlog.Parse(src)
+}
+
+func (s *replSession) query(goal string) error {
+	if !strings.HasSuffix(goal, ".") {
+		goal += "."
+	}
+	s.lastGoal = goal
+	prog, db, err := s.program(goal)
+	if err != nil {
+		return err
+	}
+	target := prog
+	if s.optimize {
+		res, err := existdlog.Optimize(prog, existdlog.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		if res.EmptyAnswer {
+			fmt.Fprintln(s.out, "no (proved empty at compile time)")
+			return nil
+		}
+		target = res.Program
+	}
+	res, err := existdlog.Eval(target, db, existdlog.EvalOptions{BooleanCut: true})
+	if err != nil {
+		return err
+	}
+	answers := res.Answers(target.Query)
+	if len(answers) == 0 {
+		fmt.Fprintln(s.out, "no")
+		return nil
+	}
+	for i, row := range answers {
+		if i == 25 {
+			fmt.Fprintf(s.out, "... and %d more\n", len(answers)-i)
+			break
+		}
+		if len(row) == 0 {
+			fmt.Fprintln(s.out, "yes")
+		} else {
+			fmt.Fprintf(s.out, "%s(%s)\n", target.Query.Key(), strings.Join(row, ","))
+		}
+	}
+	fmt.Fprintf(s.out, "%% %d answers, %d facts derived, %d iterations\n",
+		len(answers), res.Stats.FactsDerived, res.Stats.Iterations)
+	return nil
+}
+
+func (s *replSession) showOptimized() error {
+	if s.lastGoal == "" {
+		return fmt.Errorf("no query yet")
+	}
+	prog, _, err := s.program(s.lastGoal)
+	if err != nil {
+		return err
+	}
+	res, err := existdlog.Optimize(prog, existdlog.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, res.Program.String())
+	return nil
+}

@@ -1,0 +1,3 @@
+module existdlog
+
+go 1.22

@@ -1,0 +1,212 @@
+// Package adorn implements the existential adornment algorithm of
+// Section 2 of the paper.
+//
+// An adornment is a string over {'n','d'}: 'n' marks an argument whose
+// values are needed, 'd' an existential (don't-care) argument, for which
+// only the existence of some value matters. Detecting existential
+// arguments exactly is undecidable (Lemma 2.1); the algorithm here is the
+// paper's sufficient syntactic test (Lemma 2.2): a body argument is
+// adorned 'd' iff it holds a variable that occurs nowhere else in the
+// rule, except possibly in existential arguments of the head.
+//
+// Starting from the query goal's adornment, the algorithm generates
+// adorned versions of the derived predicates reachable from it; a
+// predicate may acquire several adorned versions (Example 5 of the paper
+// has both a@nn and a@nd), each a distinct predicate. Base (EDB) literals
+// are not renamed — their stored relations keep their schema — but their
+// existential argument variables are replaced by anonymous variables,
+// matching the paper's "_" presentation in Example 2.
+package adorn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"existdlog/internal/ast"
+)
+
+// GoalAdornment derives the top-level adornment from a query goal:
+// constants and named variables are needed ('n'), anonymous variables are
+// existential ('d'). A goal that is already adorned keeps its adornment.
+func GoalAdornment(goal ast.Atom) ast.Adornment {
+	if goal.Adornment != "" {
+		return goal.Adornment
+	}
+	var sb strings.Builder
+	for _, t := range goal.Args {
+		if t.Kind == ast.Variable && t.IsAnon() {
+			sb.WriteByte('d')
+		} else {
+			sb.WriteByte('n')
+		}
+	}
+	return ast.Adornment(sb.String())
+}
+
+// Adorn produces the adorned program P^{e,ad} for p. The query goal's
+// predicate seeds the worklist; every rule whose head predicate acquires
+// an adorned version is copied with its head and derived body literals
+// adorned. The result's Derived set holds the adorned keys (plus any
+// derived predicates unreachable from the query, which are dropped along
+// with their rules, as they cannot contribute answers).
+func Adorn(p *ast.Program) (*ast.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Query.Pred == "" {
+		return nil, fmt.Errorf("adorn: program has no query goal")
+	}
+	// A program whose rules already carry adornments (hand-written in the
+	// paper's notation, or a re-run of the pipeline) is passed through
+	// unchanged.
+	for _, r := range p.Rules {
+		if r.Head.Adornment != "" {
+			return p.Clone(), nil
+		}
+	}
+	goalAd := GoalAdornment(p.Query)
+	for _, c := range goalAd {
+		if c != 'n' && c != 'd' {
+			return nil, fmt.Errorf("adorn: goal adornment %q is not over {n,d}", goalAd)
+		}
+	}
+
+	out := &ast.Program{Derived: make(map[string]bool)}
+	if !p.IsDerived(p.Query.Key()) && !p.IsDerived(p.Query.Pred) {
+		// Query over a base relation: nothing to adorn.
+		out.Rules = cloneRules(p.Rules)
+		for k := range p.Derived {
+			out.Derived[k] = true
+		}
+		out.Query = p.Query.Clone()
+		return out, nil
+	}
+
+	type job struct {
+		pred string
+		ad   ast.Adornment
+	}
+	anonN := 0
+	fresh := func() ast.Term {
+		anonN++
+		return ast.V("_A" + strconv.Itoa(anonN))
+	}
+	marked := map[string]bool{}
+	var worklist []job
+	push := func(pred string, ad ast.Adornment) {
+		key := pred + "@" + string(ad)
+		if ad == "" {
+			key = pred
+		}
+		if !marked[key] {
+			marked[key] = true
+			worklist = append(worklist, job{pred, ad})
+			out.Derived[key] = true
+		}
+	}
+	push(p.Query.Pred, goalAd)
+
+	for len(worklist) > 0 {
+		j := worklist[0]
+		worklist = worklist[1:]
+		for _, r := range p.Rules {
+			if r.Head.Pred != j.pred || r.Head.Adornment != "" {
+				continue
+			}
+			if len(j.ad) != r.Head.Arity() {
+				return nil, fmt.Errorf("adorn: adornment %q does not fit %s/%d",
+					j.ad, r.Head.Pred, r.Head.Arity())
+			}
+			ar := adornRule(r, j.ad, p, fresh)
+			out.Rules = append(out.Rules, ar)
+			for _, b := range ar.Body {
+				if b.Adornment != "" || (p.IsDerived(b.Pred) && b.Arity() == 0) {
+					push(b.Pred, b.Adornment)
+				}
+			}
+		}
+	}
+	out.Query = p.Query.Clone()
+	out.Query.Adornment = goalAd
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("adorn: internal error: %w", err)
+	}
+	return out, nil
+}
+
+// adornRule copies r, adorning the head with headAd and every body literal
+// per the sufficient test: an argument is 'd' iff it is a variable whose
+// only occurrences outside this position are in existential ('d')
+// positions of the head. Derived body literals are renamed to their
+// adorned versions; base literals stay unadorned with their existential
+// variables anonymized.
+func adornRule(r ast.Rule, headAd ast.Adornment, p *ast.Program, fresh func() ast.Term) ast.Rule {
+	// Occurrence counts: body occurrences, and head occurrences split by
+	// the head position's adornment.
+	bodyOcc := map[string]int{}
+	headNOcc := map[string]int{}
+	headOcc := map[string]int{}
+	for _, b := range r.Body {
+		for _, t := range b.Args {
+			if t.Kind == ast.Variable {
+				bodyOcc[t.Name]++
+			}
+		}
+	}
+	for i, t := range r.Head.Args {
+		if t.Kind == ast.Variable {
+			headOcc[t.Name]++
+			if headAd[i] == 'n' {
+				headNOcc[t.Name]++
+			}
+		}
+	}
+	existential := func(t ast.Term) bool {
+		if t.Kind != ast.Variable {
+			return false
+		}
+		return bodyOcc[t.Name] == 1 && headNOcc[t.Name] == 0
+	}
+
+	out := r.Clone()
+	out.Head.Adornment = headAd
+	for bi := range out.Body {
+		b := &out.Body[bi]
+		if b.Arity() == 0 {
+			continue // boolean literal: nothing to adorn
+		}
+		var sb strings.Builder
+		for _, t := range b.Args {
+			if existential(t) {
+				sb.WriteByte('d')
+			} else {
+				sb.WriteByte('n')
+			}
+		}
+		ad := ast.Adornment(sb.String())
+		if p.IsDerived(b.Pred) {
+			b.Adornment = ad
+		} else {
+			// Base literal: keep the stored schema; anonymize existential
+			// variables for readability (the paper's "_"). Variables that
+			// also occur in the head (necessarily in a 'd' position, or
+			// they would not be existential) must keep their name until
+			// projection pushing drops the head position.
+			for ai, t := range b.Args {
+				if ad[ai] == 'd' && t.Kind == ast.Variable && !t.IsAnon() && headOcc[t.Name] == 0 {
+					b.Args[ai] = fresh()
+				}
+			}
+		}
+	}
+	return out
+}
+
+func cloneRules(rs []ast.Rule) []ast.Rule {
+	out := make([]ast.Rule, len(rs))
+	for i := range rs {
+		out[i] = rs[i].Clone()
+	}
+	return out
+}

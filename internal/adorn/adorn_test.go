@@ -1,0 +1,259 @@
+package adorn
+
+import (
+	"strings"
+	"testing"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGoalAdornment(t *testing.T) {
+	cases := []struct {
+		goal ast.Atom
+		want ast.Adornment
+	}{
+		{ast.NewAtom("a", ast.V("X"), ast.V("_")), "nd"},
+		{ast.NewAtom("a", ast.V("X"), ast.V("Y")), "nn"},
+		{ast.NewAtom("a", ast.C("5"), ast.V("_")), "nd"},
+		{ast.NewAdorned("a", "dn", ast.V("X"), ast.V("Y")), "dn"},
+		{ast.NewAtom("b"), ""},
+	}
+	for _, c := range cases {
+		if got := GoalAdornment(c.goal); got != c.want {
+			t.Errorf("GoalAdornment(%s) = %q, want %q", c.goal, got, c.want)
+		}
+	}
+}
+
+// Example 1 of the paper: the adorned program marks the second argument of
+// a existential.
+func TestAdornExample1(t *testing.T) {
+	p := mustParse(t, `
+query(X) :- a(X,Y).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- query(X).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ad.String()
+	want := `query@n(X) :- a@nd(X,Y).
+a@nd(X,Y) :- p(X,Z), a@nd(Z,Y).
+a@nd(X,Y) :- p(X,Y).
+?- query@n(X).
+`
+	if got != want {
+		t.Errorf("adorned program:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// Example 5 of the paper: the left-linear program needs two adorned
+// versions, a@nd and a@nn.
+func TestAdornExample5TwoVersions(t *testing.T) {
+	p := mustParse(t, `
+a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,_).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ad.Derived["a@nd"] || !ad.Derived["a@nn"] {
+		t.Fatalf("expected a@nd and a@nn, derived=%v\n%s", ad.Derived, ad)
+	}
+	if len(ad.Rules) != 4 {
+		t.Errorf("expected 4 adorned rules, got %d:\n%s", len(ad.Rules), ad)
+	}
+	// The a@nd rules: recursive one uses a@nn (Z is joined with p), and
+	// exit rule drops nothing yet.
+	found := false
+	for _, r := range ad.Rules {
+		if r.Head.Key() == "a@nd" && len(r.Body) == 2 && r.Body[0].Key() == "a@nn" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing a@nd :- a@nn(...), p(...):\n%s", ad)
+	}
+}
+
+// Example 2 of the paper: adornments across a wide rule; base literals are
+// anonymized rather than renamed.
+func TestAdornExample2(t *testing.T) {
+	p := mustParse(t, `
+p(X,U) :- q1(X,Y), q2(Y,Z), q3(U,V), q4(V), q5(W).
+q4(X) :- q6(X).
+?- p(X,_).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr *ast.Rule
+	for i := range ad.Rules {
+		if ad.Rules[i].Head.Pred == "p" {
+			pr = &ad.Rules[i]
+		}
+	}
+	if pr == nil {
+		t.Fatalf("no adorned rule for p:\n%s", ad)
+	}
+	if pr.Head.Adornment != "nd" {
+		t.Errorf("head adornment = %q", pr.Head.Adornment)
+	}
+	// q2's second argument (Z) is existential: anonymized.
+	if got := pr.Body[1].Args[1]; !got.IsAnon() {
+		t.Errorf("q2 second arg should be anonymized, got %v", got)
+	}
+	// q3's first argument is U, which appears in the head's d position:
+	// it must keep its name (the head still references it).
+	if got := pr.Body[2].Args[0]; got != ast.V("U") {
+		t.Errorf("q3 first arg = %v, want U", got)
+	}
+	// q5's argument is existential and absent from the head: anonymized.
+	if got := pr.Body[4].Args[0]; !got.IsAnon() {
+		t.Errorf("q5 arg should be anonymized, got %v", got)
+	}
+	// q4 is derived and its argument is needed (joined with q3).
+	if got := pr.Body[3].Key(); got != "q4@n" {
+		t.Errorf("q4 occurrence key = %q", got)
+	}
+	if !ad.Derived["q4@n"] {
+		t.Error("q4@n should be in the derived set")
+	}
+}
+
+func TestAdornDropsUnreachableRules(t *testing.T) {
+	p := mustParse(t, `
+a(X,Y) :- p(X,Y).
+junk(X) :- p(X,Y).
+?- a(X,_).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ad.Rules {
+		if r.Head.Pred == "junk" {
+			t.Errorf("unreachable rule kept: %s", r)
+		}
+	}
+}
+
+func TestAdornRepeatedVariableIsNeeded(t *testing.T) {
+	// A variable occurring twice in one literal is not existential.
+	p := mustParse(t, `
+a(X) :- p(X,Y), q(Y,Y).
+?- a(X).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ad.Rules[0]
+	if r.Body[1].Args[0] != ast.V("Y") || r.Body[1].Args[1] != ast.V("Y") {
+		t.Errorf("repeated variable must not be anonymized: %s", r)
+	}
+}
+
+func TestAdornConstantsAreNeeded(t *testing.T) {
+	p := mustParse(t, `
+a(X) :- p(X,1).
+a(X) :- a(X).
+?- a(_).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Goal is all-d; recursion keeps adornment d.
+	if !ad.Derived["a@d"] {
+		t.Errorf("expected a@d, got %v", ad.Derived)
+	}
+	for _, r := range ad.Rules {
+		for _, b := range r.Body {
+			if b.Pred == "p" && b.Args[1] != ast.C("1") {
+				t.Errorf("constant argument rewritten: %s", r)
+			}
+		}
+	}
+}
+
+func TestAdornBooleanPredicates(t *testing.T) {
+	p := mustParse(t, `
+flag :- p(X,Y).
+a(X) :- q(X), flag.
+?- a(X).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ad.Derived["flag"] {
+		t.Errorf("boolean predicate should remain derived: %v", ad.Derived)
+	}
+	n := 0
+	for _, r := range ad.Rules {
+		if r.Head.Key() == "flag" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("flag rules = %d", n)
+	}
+}
+
+func TestAdornQueryOverBaseRelation(t *testing.T) {
+	p := mustParse(t, `
+a(X) :- p(X,Y).
+?- p(X,_).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Query.Key() != "p" {
+		t.Errorf("query key = %s", ad.Query.Key())
+	}
+}
+
+func TestAdornNoQuery(t *testing.T) {
+	p := mustParse(t, `a(X) :- p(X,Y).`)
+	if _, err := Adorn(p); err == nil || !strings.Contains(err.Error(), "no query") {
+		t.Errorf("expected no-query error, got %v", err)
+	}
+}
+
+func TestAdornHeadDVariableInBodyKeepsName(t *testing.T) {
+	// Y is existential in the head AND appears once in the body: the body
+	// occurrence is adorned d but the variable is kept so the head stays
+	// bound until projections are pushed.
+	p := mustParse(t, `
+a(X,Y) :- p(X,Y).
+?- a(X,_).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ad.Rules[0]
+	if r.Body[0].Args[1] != ast.V("Y") {
+		t.Errorf("body Y renamed: %s", r)
+	}
+	if err := ad.Validate(); err != nil {
+		t.Errorf("adorned program invalid: %v", err)
+	}
+}

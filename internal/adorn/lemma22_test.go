@@ -1,0 +1,177 @@
+package adorn
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+	"existdlog/internal/parser"
+)
+
+// Lemma 2.2 states the adornment algorithm marks an argument 'd' only if
+// it is existential per the Section 2 DEFINITION: adding the split rule
+//
+//	p'(X̄,Y') :- p(X̄,Y).
+//
+// (Y' ranging freely) and replacing the occurrence by p' preserves query
+// equivalence. The definition's free Y' is modeled over the active domain
+// with an auxiliary dom relation, and query equivalence is spot-checked
+// over randomized databases. This is the semantic counterpart of the
+// syntactic tests elsewhere in this package.
+func TestLemma22SemanticSoundness(t *testing.T) {
+	programs := []string{
+		`query(X) :- a(X,Y).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- query(X).`,
+		`query(X) :- a(X,Y), c(W).
+a(X,Y) :- p(X,Y).
+?- query(X).`,
+		`query(X) :- a(X,Y), b(X,Z).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+b(X,Z) :- p(X,Z).
+?- query(X).`,
+	}
+	rng := rand.New(rand.NewSource(22))
+	for pi, src := range programs {
+		orig, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ad, err := Adorn(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Collect every d-marked body position of the adorned program.
+		type site struct{ rule, lit, pos int }
+		var sites []site
+		for ri, r := range ad.Rules {
+			for li, b := range r.Body {
+				for k := range b.Args {
+					if isDPosition(ad, r, b, k) {
+						sites = append(sites, site{ri, li, k})
+					}
+				}
+			}
+		}
+		if len(sites) == 0 {
+			t.Fatalf("program %d: expected d-marked positions", pi)
+		}
+		for _, s := range sites {
+			transformed := splitOccurrence(ad, s.rule, s.lit, s.pos)
+			for trial := 0; trial < 5; trial++ {
+				db := engine.NewDatabase()
+				n := 3 + rng.Intn(4)
+				for i := 0; i < 2*n; i++ {
+					db.Add("p", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+				}
+				db.Add("c", "w")
+				// dom = active domain (models the definition's free Y').
+				for _, id := range db.ActiveDomain() {
+					db.Add("dom", db.Syms.Name(id))
+				}
+				r1, err := engine.Eval(ad, db, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				r2, err := engine.Eval(transformed, db, engine.Options{})
+				if err != nil {
+					t.Fatalf("site %+v: %v\n%s", s, err, transformed)
+				}
+				a1 := r1.Answers(ad.Query)
+				a2 := r2.Answers(transformed.Query)
+				if fmt.Sprint(a1) != fmt.Sprint(a2) {
+					t.Fatalf("program %d site %+v trial %d: Lemma 2.2 violated\nbefore: %v\nafter:  %v\ntransformed:\n%s",
+						pi, s, trial, a1, a2, transformed)
+				}
+			}
+		}
+	}
+}
+
+// isDPosition reports whether argument k of body literal b is existential
+// per the adornment: derived literals carry it in their adornment; base
+// literals show it as an anonymized (or otherwise head-d-only) variable.
+func isDPosition(p *ast.Program, r ast.Rule, b ast.Atom, k int) bool {
+	if b.Adornment != "" && len(b.Adornment) == len(b.Args) {
+		return b.Adornment[k] == 'd'
+	}
+	t := b.Args[k]
+	return t.Kind == ast.Variable && t.IsAnon()
+}
+
+// splitOccurrence applies the Section 2 definition at one body position:
+// a fresh predicate p_prime defined by p_prime(...,Y') :- p(...,Y),
+// dom(Y'), the occurrence replaced, and head occurrences of Y renamed to
+// Y'.
+func splitOccurrence(p *ast.Program, ri, li, k int) *ast.Program {
+	out := p.Clone()
+	r := &out.Rules[ri]
+	occ := r.Body[li].Clone()
+	prime := occ.Pred + "_prime"
+	yName := ""
+	if t := occ.Args[k]; t.Kind == ast.Variable {
+		yName = t.Name
+	}
+
+	// Defining rule: p_prime carries the occurrence's shape with Y
+	// replaced by a domain-ranging Y'.
+	defHeadArgs := make([]ast.Term, len(occ.Args))
+	defBodyArgs := make([]ast.Term, len(occ.Args))
+	for i := range occ.Args {
+		v := ast.V(fmt.Sprintf("A%d", i))
+		defHeadArgs[i] = v
+		defBodyArgs[i] = v
+	}
+	defHeadArgs[k] = ast.V("Yprime")
+	defBodyArgs[k] = ast.V("Yorig")
+	defRule := ast.NewRule(
+		ast.Atom{Pred: prime, Adornment: occ.Adornment, Args: defHeadArgs},
+		ast.Atom{Pred: occ.Pred, Adornment: occ.Adornment, Args: defBodyArgs},
+		ast.NewAtom("dom", ast.V("Yprime")),
+	)
+
+	// Replace the occurrence and rename head uses of Y.
+	newOcc := occ.Clone()
+	newOcc.Pred = prime
+	newOcc.Args[k] = ast.V("YPRIME_SITE")
+	r.Body[li] = newOcc
+	if yName != "" {
+		for i, t := range r.Head.Args {
+			if t.Kind == ast.Variable && t.Name == yName {
+				r.Head.Args[i] = ast.V("YPRIME_SITE")
+			}
+		}
+	}
+	out.Rules = append(out.Rules, defRule)
+	out.Derived[defRule.Head.Key()] = true
+	return out
+}
+
+// The algorithm must also never mark a genuinely needed position: a
+// sanity case where marking would change answers, and the adornment
+// correctly says 'n'.
+func TestLemma22NeededPositionsStayNeeded(t *testing.T) {
+	p := parser.MustParseProgram(`
+query(X) :- a(X,Y), b(Y).
+a(X,Y) :- p(X,Y).
+b(Y) :- p(Y,Z).
+?- query(X).
+`)
+	ad, err := Adorn(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ad.Rules {
+		if r.Head.Key() != ad.Query.Key() {
+			continue
+		}
+		if !strings.Contains(r.Body[0].Key(), "a@nn") {
+			t.Errorf("Y is joined with b and must be needed: %s", r)
+		}
+	}
+}

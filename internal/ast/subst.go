@@ -1,0 +1,178 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Subst is a substitution: a finite mapping from variable names to terms.
+type Subst map[string]Term
+
+// Apply returns t with the substitution applied, chasing variable-to-
+// variable chains (Unify can produce X→A, A→B bindings; there are no
+// cycles because Unify only ever binds unbound resolved variables).
+func (s Subst) Apply(t Term) Term {
+	for t.Kind == Variable {
+		r, ok := s[t.Name]
+		if !ok || r == t {
+			return t
+		}
+		t = r
+	}
+	return t
+}
+
+// ApplyAtom returns a copy of a with the substitution applied to every
+// argument.
+func (s Subst) ApplyAtom(a Atom) Atom {
+	out := a.Clone()
+	for i, t := range out.Args {
+		out.Args[i] = s.Apply(t)
+	}
+	return out
+}
+
+// ApplyRule returns a copy of r with the substitution applied throughout.
+func (s Subst) ApplyRule(r Rule) Rule {
+	out := r.Clone()
+	out.Head = s.ApplyAtom(out.Head)
+	for i := range out.Body {
+		out.Body[i] = s.ApplyAtom(out.Body[i])
+	}
+	return out
+}
+
+// Unify attempts to unify atom a with atom b, extending the given
+// substitution. It returns the extended substitution and true on success.
+// Since Datalog has no function symbols, unification is plain
+// variable/constant matching with union-find-free chasing.
+func Unify(a, b Atom, base Subst) (Subst, bool) {
+	if a.Pred != b.Pred || a.Adornment != b.Adornment || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	s := make(Subst, len(base)+len(a.Args))
+	for k, v := range base {
+		s[k] = v
+	}
+	var resolve func(t Term) Term
+	resolve = func(t Term) Term {
+		for t.Kind == Variable {
+			r, ok := s[t.Name]
+			if !ok {
+				return t
+			}
+			t = r
+		}
+		return t
+	}
+	for i := range a.Args {
+		x, y := resolve(a.Args[i]), resolve(b.Args[i])
+		switch {
+		case x == y:
+		case x.Kind == Variable:
+			s[x.Name] = y
+		case y.Kind == Variable:
+			s[y.Name] = x
+		default: // two distinct constants
+			return nil, false
+		}
+	}
+	return s, true
+}
+
+// MatchGround matches a (possibly non-ground) atom against a ground atom,
+// extending base. Unlike Unify it requires fact to be ground and never
+// binds variables of fact.
+func MatchGround(pattern, fact Atom, base Subst) (Subst, bool) {
+	if pattern.Pred != fact.Pred || pattern.Adornment != fact.Adornment ||
+		len(pattern.Args) != len(fact.Args) {
+		return nil, false
+	}
+	s := make(Subst, len(base)+len(pattern.Args))
+	for k, v := range base {
+		s[k] = v
+	}
+	for i := range pattern.Args {
+		pt := s.Apply(pattern.Args[i])
+		ft := fact.Args[i]
+		if ft.Kind != Constant {
+			return nil, false
+		}
+		switch pt.Kind {
+		case Constant:
+			if pt != ft {
+				return nil, false
+			}
+		case Variable:
+			if pt.IsAnon() && pt.Name == "_" {
+				continue // anonymous matches anything, binds nothing
+			}
+			s[pt.Name] = ft
+		}
+	}
+	return s, true
+}
+
+// RenameApart returns a copy of r in which every variable has been renamed
+// with the given suffix, guaranteeing disjointness from any rule that does
+// not use the same suffix.
+func RenameApart(r Rule, suffix string) Rule {
+	s := make(Subst)
+	for _, v := range r.Variables() {
+		s[v] = V(v + suffix)
+	}
+	return s.ApplyRule(r)
+}
+
+// Freeze returns a ground instance of the rule in which every variable is
+// replaced by a distinct fresh constant, as used by the uniform-equivalence
+// tests of Sections 3.3-5 ("consider a ground instance of the rule" with
+// frozen constants). The prefix distinguishes freezings from program
+// constants; the returned substitution maps each variable to its frozen
+// constant.
+func Freeze(r Rule, prefix string) (Rule, Subst) {
+	s := make(Subst)
+	n := 0
+	fresh := func() Term {
+		n++
+		return C(prefix + strconv.Itoa(n))
+	}
+	assign := func(a Atom) {
+		for _, t := range a.Args {
+			if t.Kind == Variable {
+				if _, ok := s[t.Name]; !ok {
+					s[t.Name] = fresh()
+				}
+			}
+		}
+	}
+	// Freeze body variables first, then any remaining head variables
+	// (anonymous head variables of component-split rules).
+	for _, b := range r.Body {
+		assign(b)
+	}
+	assign(r.Head)
+	return s.ApplyRule(r), s
+}
+
+// FormatSubst renders a substitution deterministically for error messages
+// and tests.
+func FormatSubst(s Subst) string {
+	if len(s) == 0 {
+		return "{}"
+	}
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := "{"
+	for i, k := range keys {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s=%s", k, s[k])
+	}
+	return out + "}"
+}

@@ -1,0 +1,162 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnifyBasics(t *testing.T) {
+	a := NewAtom("p", V("X"), C("1"))
+	b := NewAtom("p", C("2"), V("Y"))
+	s, ok := Unify(a, b, nil)
+	if !ok {
+		t.Fatal("expected unification to succeed")
+	}
+	if s.Apply(V("X")) != C("2") || s.Apply(V("Y")) != C("1") {
+		t.Errorf("bad substitution: %s", FormatSubst(s))
+	}
+}
+
+func TestUnifyFailures(t *testing.T) {
+	if _, ok := Unify(NewAtom("p", C("1")), NewAtom("p", C("2")), nil); ok {
+		t.Error("distinct constants should not unify")
+	}
+	if _, ok := Unify(NewAtom("p", V("X")), NewAtom("q", V("X")), nil); ok {
+		t.Error("distinct predicates should not unify")
+	}
+	if _, ok := Unify(NewAdorned("p", "nd", V("X"), V("Y")), NewAtom("p", V("X"), V("Y")), nil); ok {
+		t.Error("distinct adornments should not unify")
+	}
+	if _, ok := Unify(NewAtom("p", V("X")), NewAtom("p", V("X"), V("Y")), nil); ok {
+		t.Error("distinct arities should not unify")
+	}
+}
+
+func TestUnifyVariableChains(t *testing.T) {
+	// p(X,X) with p(Y,3): X=Y then Y=3.
+	a := NewAtom("p", V("X"), V("X"))
+	b := NewAtom("p", V("Y"), C("3"))
+	s, ok := Unify(a, b, nil)
+	if !ok {
+		t.Fatal("expected success")
+	}
+	resolve := func(t Term) Term {
+		for t.Kind == Variable {
+			r, ok := s[t.Name]
+			if !ok {
+				return t
+			}
+			t = r
+		}
+		return t
+	}
+	if resolve(V("X")) != C("3") || resolve(V("Y")) != C("3") {
+		t.Errorf("bad chains: %s", FormatSubst(s))
+	}
+}
+
+func TestUnifyRepeatedConflict(t *testing.T) {
+	a := NewAtom("p", V("X"), V("X"))
+	b := NewAtom("p", C("1"), C("2"))
+	if _, ok := Unify(a, b, nil); ok {
+		t.Error("p(X,X) should not unify with p(1,2)")
+	}
+}
+
+func TestMatchGround(t *testing.T) {
+	pat := NewAtom("e", V("X"), V("Y"), V("X"))
+	fact := NewAtom("e", C("a"), C("b"), C("a"))
+	s, ok := MatchGround(pat, fact, nil)
+	if !ok || s.Apply(V("X")) != C("a") || s.Apply(V("Y")) != C("b") {
+		t.Errorf("MatchGround failed: ok=%v s=%s", ok, FormatSubst(s))
+	}
+	bad := NewAtom("e", C("a"), C("b"), C("c"))
+	if _, ok := MatchGround(pat, bad, nil); ok {
+		t.Error("repeated variable should force equality")
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	r := NewRule(NewAtom("a", V("X"), V("Y")), NewAtom("a", V("X"), V("Z")), NewAtom("p", V("Z"), V("Y")))
+	fr, s := Freeze(r, "$c")
+	if !fr.Head.IsGround() {
+		t.Errorf("frozen head not ground: %s", fr.Head)
+	}
+	for _, b := range fr.Body {
+		if !b.IsGround() {
+			t.Errorf("frozen body literal not ground: %s", b)
+		}
+	}
+	// Distinct variables map to distinct constants.
+	seen := make(map[Term]string)
+	for v, c := range s {
+		if prev, ok := seen[c]; ok {
+			t.Errorf("variables %s and %s share frozen constant %s", prev, v, c)
+		}
+		seen[c] = v
+	}
+	// Shared variables stay shared: X in head and first body literal.
+	if fr.Head.Args[0] != fr.Body[0].Args[0] {
+		t.Error("shared variable X frozen inconsistently")
+	}
+	if fr.Body[0].Args[1] != fr.Body[1].Args[0] {
+		t.Error("shared variable Z frozen inconsistently")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	r := NewRule(NewAtom("p", V("X")), NewAtom("e", V("X"), V("Z")))
+	rn := RenameApart(r, "#1")
+	if rn.Head.Args[0] != V("X#1") || rn.Body[0].Args[1] != V("Z#1") {
+		t.Errorf("RenameApart produced %s", rn)
+	}
+	if r.Head.Args[0] != V("X") {
+		t.Error("RenameApart mutated the input")
+	}
+}
+
+// Property: for random variable/constant argument vectors, a successful
+// Unify yields a substitution under which both atoms become identical.
+func TestUnifyProperty(t *testing.T) {
+	names := []string{"X", "Y", "Z"}
+	consts := []string{"1", "2"}
+	mk := func(sel []byte) Atom {
+		args := make([]Term, len(sel))
+		for i, s := range sel {
+			if s%2 == 0 {
+				args[i] = V(names[int(s/2)%len(names)])
+			} else {
+				args[i] = C(consts[int(s/2)%len(consts)])
+			}
+		}
+		return NewAtom("p", args...)
+	}
+	full := func(s Subst, a Atom) Atom {
+		resolve := func(t Term) Term {
+			for t.Kind == Variable {
+				r, ok := s[t.Name]
+				if !ok {
+					return t
+				}
+				t = r
+			}
+			return t
+		}
+		out := a.Clone()
+		for i := range out.Args {
+			out.Args[i] = resolve(out.Args[i])
+		}
+		return out
+	}
+	prop := func(sa, sb [4]byte) bool {
+		a, b := mk(sa[:]), mk(sb[:])
+		s, ok := Unify(a, b, nil)
+		if !ok {
+			return true // failure is allowed; soundness is what we check
+		}
+		return full(s, a).Equal(full(s, b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

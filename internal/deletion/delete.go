@@ -1,0 +1,459 @@
+package deletion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"existdlog/internal/ast"
+)
+
+// Mode selects the summary-based deletion test.
+type Mode int
+
+const (
+	// Lemma51 requires one fixed unit rule whose projection every
+	// composite summary to the occurrence refines.
+	Lemma51 Mode = iota
+	// Lemma53 lets each composite summary pick its own element of the
+	// closure S2 of unit-rule projections (Algorithm 5.1), which deletes
+	// strictly more (Example 10).
+	Lemma53
+)
+
+// Deletion records one discarded rule and why.
+type Deletion struct {
+	Rule   string
+	Reason string
+}
+
+// occSummaries computes, for every body literal occurrence in the program
+// (base and derived alike — Lemma 5.1's p.n^c may be any literal, and base
+// occurrences are what let Example 6 shed its exit rule via the unit rule
+// a@nd(X) :- p(X,Y)), the set of summaries of all composite argument
+// projections from the query predicate to that occurrence (Section 5).
+// The map is keyed by "ruleIndex:literalIndex".
+func occSummaries(p *ast.Program) map[string][]Summary {
+	queryKey := p.Query.Key()
+	queryN := NArity(p.Query)
+
+	// Reach(K): summaries of composites from the query to (occurrences of)
+	// predicate K, grown to a fixpoint; identity seeds the query.
+	reach := map[string]map[string]Summary{}
+	addReach := func(s Summary) bool {
+		m, ok := reach[s.TgtKey]
+		if !ok {
+			m = map[string]Summary{}
+			reach[s.TgtKey] = m
+		}
+		k := s.Key()
+		if _, dup := m[k]; dup {
+			return false
+		}
+		m[k] = s
+		return true
+	}
+	addReach(Identity(queryKey, queryN))
+
+	// Base projections per rule and derived occurrence.
+	type occ struct {
+		rule, lit int
+		proj      Summary
+	}
+	var occs []occ
+	for ri, r := range p.Rules {
+		for li, b := range r.Body {
+			occs = append(occs, occ{ri, li, NewProjection(r.Head, b)})
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, o := range occs {
+			srcKey := p.Rules[o.rule].Head.Key()
+			for _, s := range snapshot(reach[srcKey]) {
+				if s.TgtN != o.proj.SrcN {
+					continue
+				}
+				if addReach(Compose(s, o.proj)) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	out := map[string][]Summary{}
+	for _, o := range occs {
+		srcKey := p.Rules[o.rule].Head.Key()
+		var sums []Summary
+		seen := map[string]bool{}
+		for _, s := range snapshot(reach[srcKey]) {
+			if s.TgtN != o.proj.SrcN {
+				continue
+			}
+			c := Compose(s, o.proj)
+			if !seen[c.Key()] {
+				seen[c.Key()] = true
+				sums = append(sums, c)
+			}
+		}
+		out[fmt.Sprintf("%d:%d", o.rule, o.lit)] = sums
+	}
+	return out
+}
+
+func snapshot(m map[string]Summary) []Summary {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Summary, 0, len(m))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// unitProjections collects the argument projections of the program's unit
+// rules (single-literal bodies over derived or base predicates), excluding
+// the rule indices in skip, plus the identity projection of the query
+// predicate (the trivial unit rule of Example 7).
+//
+// A unit rule containing a constant is skipped: the constant is a
+// selection the projection graph does not record, so reproduction through
+// the rule is not guaranteed for an arbitrary derivation context.
+// (Repeated variables are safe — the summary partition keeps same-side
+// equalities, and Refines demands the context force them.)
+func unitProjections(p *ast.Program, skip map[int]bool) []Summary {
+	out := []Summary{Identity(p.Query.Key(), NArity(p.Query))}
+	for ri, r := range p.Rules {
+		if skip[ri] || !r.IsUnit() || hasConstant(r) {
+			continue
+		}
+		out = append(out, NewProjection(r.Head, r.Body[0]))
+	}
+	return out
+}
+
+func hasConstant(r ast.Rule) bool {
+	for _, t := range r.Head.Args {
+		if t.Kind == ast.Constant {
+			return true
+		}
+	}
+	for _, b := range r.Body {
+		for _, t := range b.Args {
+			if t.Kind == ast.Constant {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SummaryDeletable reports whether rule ri can be deleted by the
+// summary-based test: the rule contains a derived occurrence p.n such that
+// every summary of every composite projection from the query to p.n
+// refines a unit-rule projection (one fixed projection under Lemma51; any
+// element of the closure S2 under Lemma53). Unit rules involving ri itself
+// are excluded from S2 — the reproduction argument must survive the
+// deletion. The occurrence justifying the deletion is returned for
+// reporting.
+func SummaryDeletable(p *ast.Program, ri int, mode Mode, sums map[string][]Summary) (string, bool) {
+	r := p.Rules[ri]
+	units := unitProjections(p, map[int]bool{ri: true})
+	queryKey := p.Query.Key()
+	// Lemma 5.1 compares against the projection of a single unit rule of
+	// the program (or the trivial identity); Lemma 5.3 admits any summary
+	// in the closure S2 of the unit projections (Algorithm 5.1), i.e.
+	// reproduction through a chain of unit rules.
+	var byPair map[string][]Summary
+	if mode == Lemma51 {
+		byPair = make(map[string][]Summary)
+		for _, u := range units {
+			pair := u.SrcKey + ">" + u.TgtKey
+			byPair[pair] = append(byPair[pair], u)
+		}
+	} else {
+		byPair = CloseSummaries(units)
+	}
+	for li, b := range r.Body {
+		composites := sums[fmt.Sprintf("%d:%d", ri, li)]
+		if len(composites) == 0 {
+			continue // unreachable occurrences are the cleanup's job
+		}
+		candidates := byPair[queryKey+">"+b.Key()]
+		if len(candidates) == 0 {
+			continue
+		}
+		switch mode {
+		case Lemma51:
+			for _, u := range candidates {
+				all := true
+				for _, c := range composites {
+					if !c.Refines(u) {
+						all = false
+						break
+					}
+				}
+				if all {
+					return fmt.Sprintf("Lemma 5.1 via unit projection %s on occurrence %s", u, b), true
+				}
+			}
+		case Lemma53:
+			all := true
+			for _, c := range composites {
+				found := false
+				for _, u := range candidates {
+					if c.Refines(u) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					all = false
+					break
+				}
+			}
+			if all {
+				return fmt.Sprintf("Lemma 5.3 via summary closure on occurrence %s", b), true
+			}
+		}
+	}
+	return "", false
+}
+
+// Cleanup removes rules that cannot contribute to the query: rules whose
+// body mentions an unproductive derived predicate (one with no rule
+// bottoming out in base relations — this covers both "no defining rules"
+// and "recursion with no exit rule", the cascade of Example 8), and rules
+// defining predicates unreachable from the query (Examples 7 and 8). It
+// iterates to a fixpoint and reports the deletions.
+//
+// Cleanup preserves query equivalence (empty derived predicates on input);
+// unlike the other tests it is not sound for uniform equivalence, where
+// derived predicates may be seeded.
+func Cleanup(p *ast.Program) (*ast.Program, []Deletion) {
+	out := p.Clone()
+	var dels []Deletion
+	for {
+		before := len(out.Rules)
+
+		// Productivity: base predicates are productive; a derived
+		// predicate is productive if some rule for it has an all-productive
+		// body.
+		productive := map[string]bool{}
+		for changed := true; changed; {
+			changed = false
+			for _, r := range out.Rules {
+				if productive[r.Head.Key()] {
+					continue
+				}
+				ok := true
+				for _, b := range r.Body {
+					if !b.Negated && out.Derived[b.Key()] && !productive[b.Key()] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					productive[r.Head.Key()] = true
+					changed = true
+				}
+			}
+		}
+		kept := out.Rules[:0:0]
+		for _, r := range out.Rules {
+			dead := ""
+			for _, b := range r.Body {
+				// A negated literal over an empty predicate is simply true;
+				// it never kills its rule.
+				if !b.Negated && out.Derived[b.Key()] && !productive[b.Key()] {
+					dead = b.Key()
+					break
+				}
+			}
+			if dead != "" {
+				dels = append(dels, Deletion{r.String(),
+					fmt.Sprintf("body uses %s, which is derived but unproductive (empty)", dead)})
+				continue
+			}
+			kept = append(kept, r)
+		}
+		out.Rules = kept
+
+		// Drop rules for predicates unreachable from the query.
+		reach := map[string]bool{out.Query.Key(): true}
+		for changed := true; changed; {
+			changed = false
+			for _, r := range out.Rules {
+				if !reach[r.Head.Key()] {
+					continue
+				}
+				for _, b := range r.Body {
+					if !reach[b.Key()] {
+						reach[b.Key()] = true
+						changed = true
+					}
+				}
+			}
+		}
+		kept = out.Rules[:0:0]
+		for _, r := range out.Rules {
+			if !reach[r.Head.Key()] {
+				dels = append(dels, Deletion{r.String(),
+					fmt.Sprintf("%s is unreachable from the query", r.Head.Key())})
+				continue
+			}
+			kept = append(kept, r)
+		}
+		out.Rules = kept
+
+		if len(out.Rules) == before {
+			return out, dels
+		}
+	}
+}
+
+// Options configures the deletion driver.
+type Options struct {
+	Mode Mode
+	// UniformTest, if non-nil, is invoked for rules the summary test
+	// cannot delete; it should report whether the program without rule ri
+	// still uniformly derives the rule (Sagiv's test, provided by the
+	// uniform package; injected to avoid an import cycle).
+	UniformTest func(p *ast.Program, ri int) (bool, error)
+	// LiteralTest, if non-nil, deletes individual body literals that are
+	// redundant under uniform equivalence (uniform.LiteralRedundant).
+	LiteralTest func(p *ast.Program, ri, li int) (bool, error)
+	// Subsumption enables clause subsumption and query-projection
+	// subsumption (the Section 6 open-question generalization; deletes
+	// Example 9's redundant rule without the Example 11 rewrite).
+	Subsumption bool
+}
+
+// DeleteRules is Algorithm 5.2 extended with cleanup: it repeatedly (1)
+// removes rules justified by the summary test, (2) removes rules justified
+// by the uniform-equivalence test, and (3) cleans up undefined/unreachable
+// predicates, until a fixpoint. The query predicate's last defining rules
+// can themselves be deleted when justified (Example 8 derives an empty
+// answer).
+func DeleteRules(p *ast.Program, opt Options) (*ast.Program, []Deletion, error) {
+	cur := p.Clone()
+	var dels []Deletion
+	// The summary, subsumption and uniform-equivalence tests are defined
+	// for positive programs; with negation only the (stratification-aware)
+	// cleanup applies.
+	if cur.HasNegation() {
+		cleaned, cdels := Cleanup(cur)
+		return cleaned, cdels, nil
+	}
+	for {
+		changed := false
+
+		// Summary-based deletions, one at a time (simultaneous deletion is
+		// unsound: two rules can justify each other). Rules defining
+		// auxiliary predicates are tried before rules defining the query
+		// predicate — the order the paper's worked examples follow, which
+		// trims auxiliary recursions (Examples 7, 8, 10) rather than
+		// rewriting the query's own exit rules.
+		sums := occSummaries(cur)
+		for pass := 0; pass < 2; pass++ {
+			for ri := 0; ri < len(cur.Rules); ri++ {
+				isQueryRule := cur.Rules[ri].Head.Key() == cur.Query.Key()
+				if (pass == 0) == isQueryRule {
+					continue
+				}
+				reason, ok := SummaryDeletable(cur, ri, opt.Mode, sums)
+				if !ok {
+					continue
+				}
+				dels = append(dels, Deletion{cur.Rules[ri].String(), reason})
+				cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
+				changed = true
+				sums = occSummaries(cur)
+				ri--
+			}
+		}
+
+		if opt.Subsumption {
+			sums = occSummaries(cur)
+			for ri := 0; ri < len(cur.Rules); ri++ {
+				if rj, ok := ClauseSubsumed(cur, ri); ok {
+					dels = append(dels, Deletion{cur.Rules[ri].String(),
+						fmt.Sprintf("clause subsumption by rule %d (%s)", rj+1, cur.Rules[rj])})
+					cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
+					changed = true
+					sums = occSummaries(cur)
+					ri--
+					continue
+				}
+				if reason, ok := QueryProjectionSubsumed(cur, ri, sums); ok {
+					dels = append(dels, Deletion{cur.Rules[ri].String(), reason})
+					cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
+					changed = true
+					sums = occSummaries(cur)
+					ri--
+				}
+			}
+		}
+
+		if opt.UniformTest != nil {
+			for ri := 0; ri < len(cur.Rules); ri++ {
+				ok, err := opt.UniformTest(cur, ri)
+				if err != nil {
+					return nil, nil, err
+				}
+				if !ok {
+					continue
+				}
+				dels = append(dels, Deletion{cur.Rules[ri].String(),
+					"uniform equivalence (Sagiv): the remaining rules derive this rule's head from its frozen body"})
+				cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
+				changed = true
+				ri--
+			}
+		}
+
+		if opt.LiteralTest != nil {
+			for ri := 0; ri < len(cur.Rules); ri++ {
+				for li := 0; li < len(cur.Rules[ri].Body); li++ {
+					ok, err := opt.LiteralTest(cur, ri, li)
+					if err != nil {
+						return nil, nil, err
+					}
+					if !ok {
+						continue
+					}
+					old := cur.Rules[ri].String()
+					cur.Rules[ri].Body = append(cur.Rules[ri].Body[:li:li], cur.Rules[ri].Body[li+1:]...)
+					dels = append(dels, Deletion{old,
+						fmt.Sprintf("literal %d redundant under uniform equivalence; rule weakened to %s",
+							li+1, cur.Rules[ri])})
+					changed = true
+					li--
+				}
+			}
+		}
+
+		cleaned, cdels := Cleanup(cur)
+		if len(cdels) > 0 {
+			changed = true
+			dels = append(dels, cdels...)
+			cur = cleaned
+		}
+		if !changed {
+			return cur, dels, nil
+		}
+	}
+}
+
+// FormatDeletions renders a deletion report.
+func FormatDeletions(dels []Deletion) string {
+	var sb strings.Builder
+	for _, d := range dels {
+		fmt.Fprintf(&sb, "deleted %s\n  reason: %s\n", d.Rule, d.Reason)
+	}
+	return sb.String()
+}

@@ -1,0 +1,215 @@
+package deletion
+
+import (
+	"fmt"
+
+	"existdlog/internal/ast"
+)
+
+// This file implements rule subsumption, the generalization Section 6 of
+// the paper poses as an open question: "the problem is to devise
+// techniques to detect subsumption of a rule by other rules ... the
+// generalization to the case where a rule is subsumed by a set of
+// (arbitrary) rules is an interesting open question." Two sound cases are
+// provided:
+//
+//   - clause subsumption (same head): rule r2 is deleted when another rule
+//     r1 with the same head predicate maps homomorphically into it — every
+//     ground instance of r2 is then an instance of r1, so the deletion
+//     even preserves uniform equivalence;
+//
+//   - query-projection subsumption: r2's head feeds the query only through
+//     composite projections; if a rule r1 defining the query predicate
+//     maps homomorphically into r2's body, and every composite summary
+//     from the query to occurrences of r2's head predicate forces exactly
+//     the argument correspondences r1's head uses, then any answer that
+//     ever flows through an r2-derived fact is produced by r1 directly
+//     from the same subderivations. This is what deletes Example 9's
+//     fourth rule WITHOUT the Example 11 rewrite.
+//
+// The homomorphism search is plain backtracking; rule bodies are small.
+
+// findHom searches for a substitution σ over the variables of src such
+// that every atom of src.Body maps (under σ) onto some atom of dst.Body.
+// Constants must match exactly. It reports each complete σ to yield until
+// yield returns false.
+func findHom(src, dst ast.Rule, yield func(ast.Subst) bool) {
+	var rec func(i int, s ast.Subst) bool
+	rec = func(i int, s ast.Subst) bool {
+		if i == len(src.Body) {
+			return yield(s)
+		}
+		a := src.Body[i]
+		for _, b := range dst.Body {
+			if b.Pred != a.Pred || b.Adornment != a.Adornment || len(b.Args) != len(a.Args) {
+				continue
+			}
+			next := make(ast.Subst, len(s)+len(a.Args))
+			for k, v := range s {
+				next[k] = v
+			}
+			ok := true
+			for j := range a.Args {
+				at := a.Args[j]
+				bt := b.Args[j]
+				if at.Kind == ast.Constant {
+					if at != bt {
+						ok = false
+						break
+					}
+					continue
+				}
+				if cur, bound := next[at.Name]; bound {
+					if cur != bt {
+						ok = false
+						break
+					}
+				} else {
+					next[at.Name] = bt
+				}
+			}
+			if ok && !rec(i+1, next) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, ast.Subst{})
+}
+
+// ClauseSubsumed reports whether rule ri is subsumed by another rule of p
+// with the same head predicate: a homomorphism σ with head(rj)σ =
+// head(ri) and body(rj)σ ⊆ body(ri). Deleting a clause-subsumed rule
+// preserves uniform equivalence. The subsuming rule's index is returned.
+func ClauseSubsumed(p *ast.Program, ri int) (int, bool) {
+	r2 := p.Rules[ri]
+	for rj, r1 := range p.Rules {
+		if rj == ri || r1.Head.Key() != r2.Head.Key() || len(r1.Body) > len(r2.Body) {
+			continue
+		}
+		// Rename the subsuming rule apart: the homomorphism's domain must
+		// be disjoint from r2's variables, or applying it can chase cycles
+		// (X→Y, Y→X arises when an atom maps onto its own swap).
+		r1r := ast.RenameApart(r1, "$h")
+		found := false
+		findHom(r1r, r2, func(s ast.Subst) bool {
+			if s.ApplyAtom(r1r.Head).Equal(r2.Head) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return rj, true
+		}
+	}
+	return -1, false
+}
+
+// QueryProjectionSubsumed reports whether rule ri is subsumed, for the
+// query, by a rule defining the query predicate: a homomorphism from that
+// rule's body into ri's body whose induced head correspondence is forced
+// by every composite summary from the query to occurrences of ri's head
+// predicate (Lemma 5.1's machinery with the unit rule replaced by an
+// arbitrary rule). sums must come from occSummaries of p.
+func QueryProjectionSubsumed(p *ast.Program, ri int, sums map[string][]Summary) (string, bool) {
+	r2 := p.Rules[ri]
+	headKey := r2.Head.Key()
+	queryKey := p.Query.Key()
+
+	// Collect the composite summaries reaching occurrences of headKey, and
+	// — when ri defines the query predicate itself — the identity (the
+	// fact is then an answer directly).
+	var contexts []Summary
+	for rj, r := range p.Rules {
+		for lj, b := range r.Body {
+			if b.Key() != headKey {
+				continue
+			}
+			if rj == ri {
+				// A recursive use inside the deleted rule itself vanishes
+				// with the rule.
+				continue
+			}
+			contexts = append(contexts, sums[fmt.Sprintf("%d:%d", rj, lj)]...)
+		}
+	}
+	if headKey == queryKey {
+		contexts = append(contexts, Identity(queryKey, NArity(p.Query)))
+	}
+	if len(contexts) == 0 {
+		return "", false // unreachable; cleanup's job
+	}
+
+	for rj, r1 := range p.Rules {
+		if rj == ri || r1.Head.Key() != queryKey || len(r1.Body) > len(r2.Body) {
+			continue
+		}
+		r1r := ast.RenameApart(r1, "$h") // see ClauseSubsumed: avoid cyclic σ
+		var reason string
+		found := false
+		findHom(r1r, r2, func(s ast.Subst) bool {
+			pi, ok := inducedProjection(p.Query, s.ApplyAtom(r1r.Head), r2.Head, headKey)
+			if !ok {
+				return true // try another homomorphism
+			}
+			for _, cs := range contexts {
+				if !cs.Refines(pi) {
+					return true
+				}
+			}
+			reason = fmt.Sprintf("query-projection subsumption by rule %d (%s)", rj+1, r1)
+			found = true
+			return false
+		})
+		if found {
+			return reason, true
+		}
+	}
+	return "", false
+}
+
+// inducedProjection builds the summary the subsuming rule's propagation
+// relies on: query n-arg k corresponds to r2-head n-arg m when the mapped
+// query-head term at k equals the term at m. Every query n-arg must be a
+// variable occurring in the subsumed head's needed arguments (a constant
+// or an unmatched variable would not be reproduced).
+func inducedProjection(query, mappedHead, subsumedHead ast.Atom, headKey string) (Summary, bool) {
+	qArgs := nArgs(mappedHead)
+	hArgs := nArgs(subsumedHead)
+	pi := Summary{
+		SrcKey: query.Key(), TgtKey: headKey,
+		SrcN: len(qArgs), TgtN: len(hArgs),
+		Class: make([]int, len(qArgs)+len(hArgs)),
+	}
+	byTerm := map[ast.Term]int{}
+	next := 0
+	classFor := func(t ast.Term, fresh bool) int {
+		if t.Kind == ast.Variable && !t.IsAnon() && !fresh {
+			if c, ok := byTerm[t]; ok {
+				return c
+			}
+			byTerm[t] = next
+			next++
+			return byTerm[t]
+		}
+		c := next
+		next++
+		return c
+	}
+	for m, t := range hArgs {
+		pi.Class[len(qArgs)+m] = classFor(t, false)
+	}
+	for k, t := range qArgs {
+		if t.Kind != ast.Variable || t.IsAnon() {
+			return Summary{}, false
+		}
+		c, ok := byTerm[t]
+		if !ok {
+			return Summary{}, false // not transported through the subsumed head
+		}
+		pi.Class[k] = c
+	}
+	canonicalize(pi.Class)
+	return pi, true
+}

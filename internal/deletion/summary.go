@@ -1,0 +1,292 @@
+// Package deletion implements the rule-discarding optimization of
+// Section 5 of the paper: argument projections, their composition and
+// summaries (Algorithm 5.1), and the sufficient deletion tests of
+// Lemma 5.1 (single unit rule) and Lemma 5.3 (a set of unit rules), driven
+// to a fixpoint together with definedness/reachability cleanup
+// (Algorithm 5.2, Examples 7 and 8).
+//
+// # Representation
+//
+// The paper defines an argument projection (p^a, p1^a1) as a graph over
+// the 'n' arguments of the two predicates with an edge where the same
+// variable occurs in both positions, and the summary of a composite as the
+// projection with an edge wherever a path exists. We represent a summary
+// as the full connectivity partition over source-and-target argument
+// nodes, including same-side classes. Keeping same-side connectivity makes
+// pairwise composition exact (bipartite edge sets alone lose paths that
+// zigzag through discarded middles), so Algorithm 5.1's closure computes
+// precisely the summaries of all composites.
+//
+// # Soundness of the test
+//
+// Lemma 5.1 compares summaries to the unit rule's projection for
+// *identity*. We use the (weaker, still sound, strictly more effective)
+// containment form: a composite summary may have additional connections;
+// what matters is that every equality the unit rule's propagation relies
+// on is forced in every derivation context, i.e. the composite summary
+// refines the unit projection. The proof sketch of Lemma 5.1 goes through
+// verbatim: the derivation subtree rooted at the occurrence's fact is
+// re-rooted under the unit rule, and the summary containment guarantees
+// the reproduced query fact carries the same constants.
+package deletion
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"existdlog/internal/ast"
+)
+
+// Summary is the connectivity partition of a composite argument projection
+// from the n-arguments of a source predicate to those of a target
+// predicate. Nodes 0..SrcN-1 are source arguments, SrcN..SrcN+TgtN-1 are
+// target arguments; Class assigns each node its equivalence class id in
+// canonical (first-occurrence) order.
+type Summary struct {
+	SrcKey string
+	TgtKey string
+	SrcN   int
+	TgtN   int
+	Class  []int
+}
+
+// nArgs returns the terms at needed positions of a: for an unprojected
+// adorned atom these are the 'n'-position arguments; for a projected or
+// unadorned atom, all arguments.
+func nArgs(a ast.Atom) []ast.Term {
+	if a.Adornment == "" || len(a.Args) != len(a.Adornment) {
+		return a.Args
+	}
+	var out []ast.Term
+	for i, t := range a.Args {
+		if a.Adornment[i] == 'n' {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NArity returns the number of needed argument positions of a.
+func NArity(a ast.Atom) int { return len(nArgs(a)) }
+
+// canonicalize rewrites class ids into first-occurrence order so equal
+// partitions have equal representations.
+func canonicalize(class []int) {
+	remap := make(map[int]int)
+	next := 0
+	for i, c := range class {
+		m, ok := remap[c]
+		if !ok {
+			m = next
+			next++
+			remap[c] = m
+		}
+		class[i] = m
+	}
+}
+
+// NewProjection builds the argument projection between the head of a rule
+// and one of its body literals: nodes are the needed arguments of both;
+// two nodes share a class iff they hold the same variable. Constants and
+// anonymous variables connect nothing.
+func NewProjection(head, occ ast.Atom) Summary {
+	hs, os := nArgs(head), nArgs(occ)
+	s := Summary{
+		SrcKey: head.Key(), TgtKey: occ.Key(),
+		SrcN: len(hs), TgtN: len(os),
+		Class: make([]int, len(hs)+len(os)),
+	}
+	byVar := make(map[string]int)
+	next := 0
+	classFor := func(t ast.Term) int {
+		if t.Kind == ast.Variable && !t.IsAnon() {
+			if c, ok := byVar[t.Name]; ok {
+				return c
+			}
+			byVar[t.Name] = next
+			next++
+			return byVar[t.Name]
+		}
+		c := next
+		next++
+		return c
+	}
+	for i, t := range hs {
+		s.Class[i] = classFor(t)
+	}
+	for j, t := range os {
+		s.Class[len(hs)+j] = classFor(t)
+	}
+	canonicalize(s.Class)
+	return s
+}
+
+// Identity returns the identity summary over a predicate: source argument
+// i connected to target argument i. It corresponds to the trivial unit
+// rule p^a(t) :- p^a(t) that Example 7 appeals to.
+func Identity(key string, n int) Summary {
+	s := Summary{SrcKey: key, TgtKey: key, SrcN: n, TgtN: n, Class: make([]int, 2*n)}
+	for i := 0; i < n; i++ {
+		s.Class[i] = i
+		s.Class[n+i] = i
+	}
+	return s
+}
+
+// Compose glues s1 (A→B) with s2 (B→C) on the shared middle predicate and
+// returns the summary (A→C): connectivity of the glued graph restricted to
+// A and C nodes. It panics if the middles disagree; callers match keys.
+func Compose(s1, s2 Summary) Summary {
+	if s1.TgtKey != s2.SrcKey || s1.TgtN != s2.SrcN {
+		panic(fmt.Sprintf("deletion: cannot compose %s→%s with %s→%s",
+			s1.SrcKey, s1.TgtKey, s2.SrcKey, s2.TgtKey))
+	}
+	// Node layout in the glued graph: A (0..a-1), B (a..a+b-1),
+	// C (a+b..a+b+c-1).
+	a, b, c := s1.SrcN, s1.TgtN, s2.TgtN
+	parent := make([]int, a+b+c)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(x, y int) {
+		rx, ry := find(x), find(y)
+		if rx != ry {
+			parent[rx] = ry
+		}
+	}
+	// s1's equivalences over A⊎B; s2's over B⊎C (s2's own layout is
+	// B:0..b-1, C:b..b+c-1, so shift by a).
+	link(s1.Class, func(x, y int) { union(x, y) })
+	link(s2.Class, func(x, y int) { union(x+a, y+a) })
+
+	out := Summary{SrcKey: s1.SrcKey, TgtKey: s2.TgtKey, SrcN: a, TgtN: c,
+		Class: make([]int, a+c)}
+	for i := 0; i < a; i++ {
+		out.Class[i] = find(i)
+	}
+	for j := 0; j < c; j++ {
+		out.Class[a+j] = find(a + b + j)
+	}
+	canonicalize(out.Class)
+	return out
+}
+
+// link invokes union(x,y) for consecutive members of each class.
+func link(class []int, union func(x, y int)) {
+	last := make(map[int]int)
+	for i, cl := range class {
+		if j, ok := last[cl]; ok {
+			union(j, i)
+		}
+		last[cl] = i
+	}
+}
+
+// Key returns a canonical string for set membership.
+func (s Summary) Key() string {
+	var sb strings.Builder
+	sb.WriteString(s.SrcKey)
+	sb.WriteByte('>')
+	sb.WriteString(s.TgtKey)
+	sb.WriteByte('|')
+	for _, c := range s.Class {
+		fmt.Fprintf(&sb, "%d.", c)
+	}
+	return sb.String()
+}
+
+// Refines reports whether s forces every equality that u forces: same
+// endpoints, and every pair of nodes sharing a class in u shares a class
+// in s. This is the containment form of Lemma 5.1's "identical" test (see
+// the package comment).
+func (s Summary) Refines(u Summary) bool {
+	if s.SrcKey != u.SrcKey || s.TgtKey != u.TgtKey ||
+		s.SrcN != u.SrcN || s.TgtN != u.TgtN {
+		return false
+	}
+	rep := make(map[int]int) // u class -> s class
+	for i, uc := range u.Class {
+		sc := s.Class[i]
+		if prev, ok := rep[uc]; ok {
+			if prev != sc {
+				return false
+			}
+		} else {
+			rep[uc] = sc
+		}
+	}
+	return true
+}
+
+// Equal reports canonical equality.
+func (s Summary) Equal(u Summary) bool { return s.Key() == u.Key() }
+
+// String renders the summary's cross connections for diagnostics, e.g.
+// "a@nd→a@nn{1-1}".
+func (s Summary) String() string {
+	var edges []string
+	for i := 0; i < s.SrcN; i++ {
+		for j := 0; j < s.TgtN; j++ {
+			if s.Class[i] == s.Class[s.SrcN+j] {
+				edges = append(edges, fmt.Sprintf("%d-%d", i+1, j+1))
+			}
+		}
+	}
+	sort.Strings(edges)
+	return fmt.Sprintf("%s→%s{%s}", s.SrcKey, s.TgtKey, strings.Join(edges, ","))
+}
+
+// CloseSummaries is Algorithm 5.1: the closure of a set of argument
+// projections under composition. The result maps "srcKey>tgtKey" pairs to
+// their summaries.
+func CloseSummaries(base []Summary) map[string][]Summary {
+	seen := make(map[string]bool)
+	byKey := make(map[string][]Summary)
+	bySrc := make(map[string][]Summary)
+	var queue []Summary
+	add := func(s Summary) {
+		k := s.Key()
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		pair := s.SrcKey + ">" + s.TgtKey
+		byKey[pair] = append(byKey[pair], s)
+		bySrc[s.SrcKey] = append(bySrc[s.SrcKey], s)
+		queue = append(queue, s)
+	}
+	for _, s := range base {
+		add(s)
+	}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		// Compose s with everything starting at s.TgtKey, and everything
+		// ending at s.SrcKey with s.
+		for _, t := range append([]Summary(nil), bySrc[s.TgtKey]...) {
+			if t.SrcN == s.TgtN {
+				add(Compose(s, t))
+			}
+		}
+		for pair, list := range byKey {
+			if !strings.HasSuffix(pair, ">"+s.SrcKey) {
+				continue
+			}
+			for _, t := range append([]Summary(nil), list...) {
+				if t.TgtN == s.SrcN {
+					add(Compose(t, s))
+				}
+			}
+		}
+	}
+	return byKey
+}

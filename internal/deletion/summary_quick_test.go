@@ -1,0 +1,134 @@
+package deletion
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// mkSummary builds a summary over fixed arities from a random class
+// assignment.
+func mkSummary(src, tgt string, srcN, tgtN int, classes []uint8) Summary {
+	s := Summary{SrcKey: src, TgtKey: tgt, SrcN: srcN, TgtN: tgtN,
+		Class: make([]int, srcN+tgtN)}
+	for i := range s.Class {
+		c := 0
+		if len(classes) > 0 {
+			c = int(classes[i%len(classes)]) % (srcN + tgtN)
+		}
+		s.Class[i] = c
+	}
+	canonicalize(s.Class)
+	return s
+}
+
+// Property: composition of summaries is associative. This is the exactness
+// property the partition representation buys (bipartite edge sets are NOT
+// associative under composition; see the package comment).
+func TestComposeAssociativityProperty(t *testing.T) {
+	f := func(c1, c2, c3 [6]uint8) bool {
+		a := mkSummary("a", "b", 3, 3, c1[:])
+		b := mkSummary("b", "c", 3, 3, c2[:])
+		c := mkSummary("c", "d", 3, 3, c3[:])
+		left := Compose(Compose(a, b), c)
+		right := Compose(a, Compose(b, c))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the identity is a two-sided unit for composition.
+func TestComposeIdentityProperty(t *testing.T) {
+	f := func(cls [6]uint8) bool {
+		s := mkSummary("a", "b", 3, 3, cls[:])
+		idA := Identity("a", 3)
+		idB := Identity("b", 3)
+		return Compose(idA, s).Equal(s) && Compose(s, idB).Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Refines is a partial order (reflexive, transitive,
+// antisymmetric up to canonical equality).
+func TestRefinesPartialOrderProperty(t *testing.T) {
+	f := func(c1, c2, c3 [4]uint8) bool {
+		a := mkSummary("p", "q", 2, 2, c1[:])
+		b := mkSummary("p", "q", 2, 2, c2[:])
+		c := mkSummary("p", "q", 2, 2, c3[:])
+		if !a.Refines(a) {
+			return false
+		}
+		if a.Refines(b) && b.Refines(c) && !a.Refines(c) {
+			return false
+		}
+		if a.Refines(b) && b.Refines(a) && !a.Equal(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composition is monotone in both arguments with respect to
+// Refines — the fact the deletion test's soundness rests on (a context
+// forcing more equalities can only force more in the composite).
+func TestComposeMonotoneProperty(t *testing.T) {
+	merge := func(s Summary, i, j int) Summary {
+		out := Summary{SrcKey: s.SrcKey, TgtKey: s.TgtKey, SrcN: s.SrcN, TgtN: s.TgtN,
+			Class: append([]int(nil), s.Class...)}
+		ci, cj := out.Class[i%len(out.Class)], out.Class[j%len(out.Class)]
+		for k, c := range out.Class {
+			if c == cj {
+				out.Class[k] = ci
+			}
+		}
+		canonicalize(out.Class)
+		return out
+	}
+	f := func(c1, c2 [6]uint8, i, j uint8) bool {
+		a := mkSummary("a", "b", 3, 3, c1[:])
+		b := mkSummary("b", "c", 3, 3, c2[:])
+		// a' refines a by construction (one extra merge).
+		a2 := merge(a, int(i), int(j))
+		if !a2.Refines(a) {
+			return false
+		}
+		return Compose(a2, b).Refines(Compose(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CloseSummaries is idempotent — closing a closed set adds
+// nothing.
+func TestCloseSummariesIdempotentProperty(t *testing.T) {
+	f := func(c1, c2 [4]uint8) bool {
+		base := []Summary{
+			mkSummary("p", "p", 2, 2, c1[:]),
+			mkSummary("p", "p", 2, 2, c2[:]),
+		}
+		first := CloseSummaries(base)
+		var flat []Summary
+		for _, list := range first {
+			flat = append(flat, list...)
+		}
+		second := CloseSummaries(flat)
+		count := func(m map[string][]Summary) int {
+			n := 0
+			for _, l := range m {
+				n += len(l)
+			}
+			return n
+		}
+		return count(first) == count(second)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package deletion
+
+import (
+	"testing"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/parser"
+)
+
+func TestNewProjectionBasic(t *testing.T) {
+	// Rule 1 of Example 5 (projected): a@nd(X) :- a@nn(X,Z), p(Z,Y).
+	head := ast.Atom{Pred: "a", Adornment: "nd", Args: []ast.Term{ast.V("X")}}
+	occ := ast.NewAdorned("a", "nn", ast.V("X"), ast.V("Z"))
+	s := NewProjection(head, occ)
+	if s.SrcN != 1 || s.TgtN != 2 {
+		t.Fatalf("arities: %+v", s)
+	}
+	if s.String() != "a@nd→a@nn{1-1}" {
+		t.Errorf("projection = %s", s)
+	}
+}
+
+func TestNewProjectionIgnoresDroppedArgs(t *testing.T) {
+	// Unprojected adorned atoms: only 'n' positions are nodes. Example 7's
+	// observation: "we ignore the edge between the second arguments".
+	head := ast.NewAdorned("p", "nd", ast.V("X"), ast.V("Y"))
+	occ := ast.NewAdorned("p", "nn", ast.V("X"), ast.V("Y"))
+	s := NewProjection(head, occ)
+	if s.SrcN != 1 {
+		t.Fatalf("head n-arity = %d", s.SrcN)
+	}
+	if s.String() != "p@nd→p@nn{1-1}" {
+		t.Errorf("projection = %s", s)
+	}
+}
+
+func TestNewProjectionConstantsAndAnon(t *testing.T) {
+	head := ast.NewAtom("q", ast.C("1"), ast.V("X"))
+	occ := ast.NewAtom("r", ast.C("1"), ast.V("_"), ast.V("X"))
+	s := NewProjection(head, occ)
+	// Only the X-X edge: constants and anonymous variables connect
+	// nothing.
+	if s.String() != "q→r{2-3}" {
+		t.Errorf("projection = %s", s)
+	}
+}
+
+func TestIdentityAndRefines(t *testing.T) {
+	id := Identity("a@nn", 2)
+	if id.String() != "a@nn→a@nn{1-1,2-2}" {
+		t.Errorf("identity = %s", id)
+	}
+	if !id.Refines(id) {
+		t.Error("identity must refine itself")
+	}
+	// A summary with extra connections still refines one with fewer.
+	merged := Summary{SrcKey: "a@nn", TgtKey: "a@nn", SrcN: 2, TgtN: 2,
+		Class: []int{0, 0, 0, 0}}
+	if !merged.Refines(id) {
+		t.Error("total merge should refine the identity")
+	}
+	if id.Refines(merged) {
+		t.Error("identity must not refine the total merge")
+	}
+}
+
+func TestComposeChain(t *testing.T) {
+	// (q→r {1-1}) ∘ (r→s {1-2}) = q→s {1-2}.
+	s1 := NewProjection(
+		ast.NewAtom("q", ast.V("X")),
+		ast.NewAtom("r", ast.V("X"), ast.V("Z")))
+	s2 := NewProjection(
+		ast.NewAtom("r", ast.V("A"), ast.V("B")),
+		ast.NewAtom("s", ast.V("B"), ast.V("A")))
+	c := Compose(s1, s2)
+	if c.String() != "q→s{1-2}" {
+		t.Errorf("compose = %s", c)
+	}
+}
+
+func TestComposeZigzagThroughMiddleIsExact(t *testing.T) {
+	// Same-side connectivity must survive summarization: r's two args are
+	// linked in s2 through its own source; dropping that link would lose
+	// the q-s edge when composing further.
+	//   s1: q(X) → r(X,W)        edges {1-1}
+	//   s2: r(A,A) → s(A)        A repeated: middle args merged
+	s1 := NewProjection(
+		ast.NewAtom("q", ast.V("X")),
+		ast.NewAtom("r", ast.V("X"), ast.V("W")))
+	s2 := NewProjection(
+		ast.NewAtom("r", ast.V("A"), ast.V("A")),
+		ast.NewAtom("s", ast.V("A")))
+	c := Compose(s1, s2)
+	if c.String() != "q→s{1-1}" {
+		t.Errorf("compose = %s", c)
+	}
+	// Now the reverse order of information flow: the middle's merge comes
+	// from the FIRST projection; composition must carry it.
+	s3 := NewProjection(
+		ast.NewAtom("q", ast.V("X")),
+		ast.NewAtom("r", ast.V("X"), ast.V("X"))) // q arg hits both r args
+	s4 := NewProjection(
+		ast.NewAtom("r", ast.V("A"), ast.V("B")),
+		ast.NewAtom("s", ast.V("B")))
+	c2 := Compose(s3, s4)
+	if c2.String() != "q→s{1-1}" {
+		t.Errorf("compose2 = %s", c2)
+	}
+}
+
+func TestCloseSummariesTerminates(t *testing.T) {
+	// A cyclic projection graph with a flip: closure contains both the
+	// identity-like and the swapped summary, and terminates.
+	flip := NewProjection(
+		ast.NewAdorned("p", "nn", ast.V("X"), ast.V("Y")),
+		ast.NewAdorned("p", "nn", ast.V("Y"), ast.V("X")))
+	s2 := CloseSummaries([]Summary{flip})
+	got := s2["p@nn>p@nn"]
+	if len(got) != 2 {
+		t.Fatalf("closure size = %d: %v", len(got), got)
+	}
+}
+
+func TestNArity(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"p(X,Y)", 2},
+		{"p@nd(X,Y)", 1},  // unprojected: count n's
+		{"p@nnd(X,Y)", 2}, // projected: args already reduced
+		{"b2", 0},
+	}
+	for _, c := range cases {
+		prog, err := parser.ParseProgram("x(X) :- e(X,Y).\n?- " + c.src + ".")
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := NArity(prog.Query); got != c.want {
+			t.Errorf("NArity(%s) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}

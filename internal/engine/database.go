@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"existdlog/internal/ast"
+)
+
+// Database is a set of named relations sharing one constant interner. It
+// serves both as the extensional database and as the output of an
+// evaluation (which adds the derived relations).
+type Database struct {
+	Syms *Symbols
+	rels map[string]*Relation
+}
+
+// NewDatabase returns an empty database with a fresh interner.
+func NewDatabase() *Database {
+	return &Database{Syms: NewSymbols(), rels: make(map[string]*Relation)}
+}
+
+// Relation returns the relation for key, creating an empty one of the
+// given arity if absent. It panics on an arity mismatch with an existing
+// relation: that is a programming error upstream.
+func (db *Database) Relation(key string, arity int) *Relation {
+	if r, ok := db.rels[key]; ok {
+		if r.Arity() != arity {
+			panic(fmt.Sprintf("relation %s: arity %d requested, have %d", key, arity, r.Arity()))
+		}
+		return r
+	}
+	r := NewRelation(arity)
+	db.rels[key] = r
+	return r
+}
+
+// Has reports whether a relation named key exists.
+func (db *Database) Has(key string) bool {
+	_, ok := db.rels[key]
+	return ok
+}
+
+// Lookup returns the relation for key if present.
+func (db *Database) Lookup(key string) (*Relation, bool) {
+	r, ok := db.rels[key]
+	return r, ok
+}
+
+// Keys returns the relation names, sorted.
+func (db *Database) Keys() []string {
+	out := make([]string, 0, len(db.rels))
+	for k := range db.rels {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add interns the constant names and inserts the tuple into relation key.
+// It reports whether the tuple was new.
+func (db *Database) Add(key string, consts ...string) bool {
+	t := make(Tuple, len(consts))
+	for i, c := range consts {
+		t[i] = db.Syms.Intern(c)
+	}
+	return db.Relation(key, len(consts)).Insert(t)
+}
+
+// AddAtom inserts a ground atom as a fact.
+func (db *Database) AddAtom(a ast.Atom) error {
+	consts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		if t.Kind != ast.Constant {
+			return fmt.Errorf("fact %s is not ground", a)
+		}
+		consts[i] = t.Name
+	}
+	db.Add(a.Key(), consts...)
+	return nil
+}
+
+// AddAtoms inserts ground atoms, stopping at the first error.
+func (db *Database) AddAtoms(facts []ast.Atom) error {
+	for _, f := range facts {
+		if err := db.AddAtom(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Facts returns relation key's tuples decoded to constant names, sorted
+// lexicographically, for stable output in tests and reports.
+func (db *Database) Facts(key string) [][]string {
+	r, ok := db.rels[key]
+	if !ok {
+		return nil
+	}
+	out := make([][]string, 0, r.Len())
+	for _, t := range r.Tuples() {
+		row := make([]string, len(t))
+		for i, id := range t {
+			row[i] = db.Syms.Name(id)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Count returns the number of tuples in relation key (0 if absent).
+func (db *Database) Count(key string) int {
+	if r, ok := db.rels[key]; ok {
+		return r.Len()
+	}
+	return 0
+}
+
+// TotalFacts returns the number of tuples across all relations.
+func (db *Database) TotalFacts() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy sharing nothing with the receiver.
+func (db *Database) Clone() *Database {
+	c := &Database{Syms: db.Syms.Clone(), rels: make(map[string]*Relation, len(db.rels))}
+	for k, r := range db.rels {
+		c.rels[k] = r.Clone()
+	}
+	return c
+}
+
+// ActiveDomain returns the set of constant ids appearing in any tuple of
+// any relation, sorted.
+func (db *Database) ActiveDomain() []int32 {
+	seen := make(map[int32]bool)
+	for _, r := range db.rels {
+		for _, t := range r.Tuples() {
+			for _, id := range t {
+				seen[id] = true
+			}
+		}
+	}
+	out := make([]int32, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Replace swaps in a new relation for key (used by incremental
+// retraction, which rebuilds relations without the deleted tuples).
+func (db *Database) Replace(key string, rel *Relation) {
+	db.rels[key] = rel
+}

@@ -1,0 +1,818 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"existdlog/internal/ast"
+)
+
+// Strategy selects the fixpoint evaluation algorithm.
+type Strategy int
+
+const (
+	// SemiNaive is differential evaluation: each iteration joins the
+	// previous iteration's new facts (the delta) against the full
+	// relations, one rule version per derived body occurrence.
+	SemiNaive Strategy = iota
+	// Naive re-evaluates every rule against the full relations each
+	// iteration. Kept for cross-checking the semi-naive implementation.
+	Naive
+)
+
+// Options configures an evaluation.
+type Options struct {
+	Strategy Strategy
+	// BooleanCut enables the runtime optimization of Section 3.1: a rule
+	// defining a boolean (arity-0) predicate is removed from the fixpoint
+	// once the predicate holds, and rules that fed only retired rules are
+	// retired in cascade ("if q4 does not appear anywhere else in the
+	// program, the rule defining it can also be discarded after B2 is
+	// shown true"). With the cut enabled, non-query derived relations may
+	// legitimately be under-computed; query answers are unaffected.
+	BooleanCut bool
+	// MaxIterations bounds the fixpoint (default 1<<20).
+	MaxIterations int
+	// MaxFacts bounds the number of derived facts (0 = unlimited); the
+	// guard matters for programs using the arithmetic builtins.
+	MaxFacts int
+	// TrackProvenance records one justification per derived fact so that
+	// derivation trees (Section 1.1 of the paper) can be reconstructed.
+	TrackProvenance bool
+	// ReorderJoins evaluates each rule's body in a greedy bound-first
+	// order (starting from the delta literal in semi-naive versions)
+	// instead of the textual order. Answers are unaffected; join probe
+	// counts usually drop on badly ordered rules.
+	ReorderJoins bool
+}
+
+// ErrFactLimit is returned when MaxFacts is exceeded.
+var ErrFactLimit = errors.New("engine: derived fact limit exceeded")
+
+// ErrIterationLimit is returned when MaxIterations is exceeded.
+var ErrIterationLimit = errors.New("engine: iteration limit exceeded")
+
+// Stats are the evaluation counters reported by the benchmarks. The paper
+// argues arity reduction cuts both the facts produced and the duplicate
+// elimination cost, so both are counted explicitly.
+type Stats struct {
+	Iterations    int   // fixpoint passes
+	FactsDerived  int   // distinct new facts added to derived relations
+	Derivations   int64 // head tuples produced, including duplicates
+	DuplicateHits int64 // derivations rejected by duplicate elimination
+	JoinProbes    int64 // index probes performed during joins
+	RulesRetired  int   // rules removed at runtime by the boolean cut
+}
+
+// FactRef identifies a fact for provenance.
+type FactRef struct {
+	Key string
+	Row Tuple
+}
+
+// Justification records how a fact was first derived: the rule index in the
+// evaluated program and the body facts used.
+type Justification struct {
+	Rule int
+	Body []FactRef
+}
+
+// Result is the outcome of an evaluation.
+type Result struct {
+	// DB extends the input EDB with the derived relations. The input
+	// database is never mutated.
+	DB    *Database
+	Stats Stats
+	prov  map[string]map[string]Justification
+}
+
+// builtinKind enumerates the arithmetic/comparison builtins available to
+// rewritten programs (the counting rewrite needs succ). A predicate name is
+// treated as a builtin only if it is neither derived nor present in the
+// EDB.
+type builtinKind int
+
+const (
+	notBuiltin  builtinKind = iota
+	builtinSucc             // succ(X,Y): Y = X+1, X must be bound
+	builtinLt               // lt(X,Y): numeric <, both bound
+	builtinNeq              // neq(X,Y): distinct constants, both bound
+)
+
+type argRef struct {
+	isConst bool
+	constID int32
+	slot    int
+}
+
+type literalPlan struct {
+	key     string
+	args    []argRef
+	derived bool
+	negated bool
+	builtin builtinKind
+	// occ is this literal's index among the rule's positive derived
+	// occurrences (negated literals always read the finished relation of a
+	// lower stratum, never a delta).
+	occ int
+}
+
+type rulePlan struct {
+	idx     int // index in the program's rule list
+	headKey string
+	head    []argRef
+	body    []literalPlan
+	// nDeltas counts the body literals that can act as the delta in a
+	// semi-naive version: positive derived literals always, and positive
+	// base literals for incremental updates (their deltas are only
+	// populated by Update, so ordinary runs skip those versions).
+	nDeltas  int
+	slots    int
+	boolHead bool
+	stratum  int
+	// orders caches the greedy join order per delta occurrence (-1 for
+	// the naive/startup version); nil entries mean textual order.
+	orders map[int][]int
+}
+
+type evaluator struct {
+	opt     Options
+	out     *Database
+	plans   []*rulePlan
+	active  []bool
+	derived map[string]bool
+	arity   map[string]int
+	deltas  map[string]*Relation
+	next    map[string]*Relation
+	stats   Stats
+	prov    map[string]map[string]Justification
+	// scratch per join
+	slotVals  []int32
+	slotBound []bool
+	bodyFacts []FactRef
+	colsBuf   [][]int
+	valsBuf   []Tuple
+	newlyBuf  [][]int
+	baseFacts int
+	queryKey  string
+	maxStrat  int
+}
+
+// Eval evaluates program p bottom-up over the extensional database edb and
+// returns the derived database and statistics. The input database is not
+// mutated. Facts present in edb for derived predicates are honored as
+// seeds, which is what the uniform-equivalence tests of Sections 3.3-5
+// require ("Input = an instance of the DB", IDB predicates included).
+func Eval(p *ast.Program, edb *Database, opt Options) (*Result, error) {
+	if opt.MaxIterations == 0 {
+		opt.MaxIterations = 1 << 20
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ev := &evaluator{
+		opt:      opt,
+		out:      edb.Clone(),
+		derived:  p.Derived,
+		arity:    make(map[string]int),
+		deltas:   make(map[string]*Relation),
+		next:     make(map[string]*Relation),
+		queryKey: p.Query.Key(),
+	}
+	ev.baseFacts = ev.out.TotalFacts()
+	if opt.TrackProvenance {
+		ev.prov = make(map[string]map[string]Justification)
+	}
+	if err := ev.compile(p); err != nil {
+		return nil, err
+	}
+	var err error
+	if opt.Strategy == Naive {
+		err = ev.runNaive()
+	} else {
+		err = ev.runSemiNaive()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+}
+
+func builtinFor(name string, arity int) builtinKind {
+	switch {
+	case name == "succ" && arity == 2:
+		return builtinSucc
+	case name == "lt" && arity == 2:
+		return builtinLt
+	case name == "neq" && arity == 2:
+		return builtinNeq
+	}
+	return notBuiltin
+}
+
+func (ev *evaluator) compile(p *ast.Program) error {
+	// Record arities of every predicate and materialize derived relations
+	// so that empty derived predicates exist in the output.
+	note := func(a ast.Atom) {
+		if _, ok := ev.arity[a.Key()]; !ok {
+			ev.arity[a.Key()] = a.Arity()
+		}
+	}
+	for _, r := range p.Rules {
+		note(r.Head)
+		for _, b := range r.Body {
+			note(b)
+		}
+	}
+	note(p.Query)
+	for key := range ev.derived {
+		if n, ok := ev.arity[key]; ok {
+			ev.out.Relation(key, n)
+		}
+	}
+
+	for i, r := range p.Rules {
+		plan := &rulePlan{idx: i, headKey: r.Head.Key(), boolHead: r.Head.Arity() == 0}
+		slots := make(map[string]int)
+		slotOf := func(name string) int {
+			if s, ok := slots[name]; ok {
+				return s
+			}
+			s := len(slots)
+			slots[name] = s
+			return s
+		}
+		refFor := func(t ast.Term) argRef {
+			if t.Kind == ast.Constant {
+				return argRef{isConst: true, constID: ev.out.Syms.Intern(t.Name)}
+			}
+			return argRef{slot: slotOf(t.Name)}
+		}
+		// Positive literals first (they bind the variables), negated
+		// literals moved to the end (safety guarantees their variables are
+		// bound by then); relative order within each group is preserved.
+		var negatedLits []literalPlan
+		for _, b := range r.Body {
+			lp := literalPlan{key: b.Key(), occ: -1, negated: b.Negated}
+			lp.derived = ev.derived[b.Key()]
+			if !lp.derived && !ev.out.Has(b.Key()) {
+				lp.builtin = builtinFor(b.Pred, b.Arity())
+			}
+			if b.Negated && lp.builtin != notBuiltin {
+				return fmt.Errorf("rule %d: negated builtin %s", i+1, b)
+			}
+			for _, t := range b.Args {
+				lp.args = append(lp.args, refFor(t))
+			}
+			if b.Negated {
+				negatedLits = append(negatedLits, lp)
+				continue
+			}
+			if lp.builtin == notBuiltin {
+				lp.occ = plan.nDeltas
+				plan.nDeltas++
+			}
+			plan.body = append(plan.body, lp)
+		}
+		plan.body = append(plan.body, negatedLits...)
+		// Head: variables must already have slots (range restriction),
+		// except anonymous head variables, which evaluate to the reserved
+		// constant.
+		for _, t := range r.Head.Args {
+			if t.Kind == ast.Variable {
+				if _, ok := slots[t.Name]; !ok {
+					if !t.IsAnon() {
+						return fmt.Errorf("rule %d: unbound head variable %s", i+1, t.Name)
+					}
+					plan.head = append(plan.head, argRef{isConst: true, constID: AnonID})
+					continue
+				}
+			}
+			plan.head = append(plan.head, refFor(t))
+		}
+		plan.slots = len(slots)
+		ev.plans = append(ev.plans, plan)
+	}
+	ev.active = make([]bool, len(ev.plans))
+	for i := range ev.active {
+		ev.active[i] = true
+	}
+	// Stratify for negation-as-failure; positive programs land in one
+	// stratum.
+	strata, err := Stratify(p)
+	if err != nil {
+		return err
+	}
+	for _, plan := range ev.plans {
+		plan.stratum = strata[plan.headKey]
+		if plan.stratum > ev.maxStrat {
+			ev.maxStrat = plan.stratum
+		}
+	}
+	return nil
+}
+
+// relationFor resolves the relation a literal reads during a given rule
+// version: deltaOcc selects which derived occurrence reads the delta
+// (-1 for none, i.e. naive or startup passes).
+func (ev *evaluator) relationFor(lp *literalPlan, deltaOcc int) *Relation {
+	if lp.occ >= 0 && lp.occ == deltaOcc {
+		if d, ok := ev.deltas[lp.key]; ok {
+			return d
+		}
+	}
+	r, ok := ev.out.Lookup(lp.key)
+	if !ok {
+		// Base predicate with no facts: empty relation of the right arity.
+		return ev.out.Relation(lp.key, len(lp.args))
+	}
+	return r
+}
+
+// joinOrder computes (and caches) the literal evaluation order for a rule
+// version: the delta literal first, then greedily the literal with the
+// most bound arguments among those whose builtin binding requirements are
+// satisfiable, preferring base relations and the textual order on ties.
+func (ev *evaluator) joinOrder(plan *rulePlan, deltaOcc int) []int {
+	if !ev.opt.ReorderJoins {
+		return nil
+	}
+	if plan.orders == nil {
+		plan.orders = make(map[int][]int)
+	}
+	if ord, ok := plan.orders[deltaOcc]; ok {
+		return ord
+	}
+	boundSlot := make([]bool, plan.slots)
+	used := make([]bool, len(plan.body))
+	order := make([]int, 0, len(plan.body))
+	take := func(li int) {
+		used[li] = true
+		order = append(order, li)
+		for _, a := range plan.body[li].args {
+			if !a.isConst {
+				boundSlot[a.slot] = true
+			}
+		}
+	}
+	// Semi-naive versions start from the delta literal.
+	if deltaOcc >= 0 {
+		for li, lp := range plan.body {
+			if lp.derived && lp.occ == deltaOcc {
+				take(li)
+				break
+			}
+		}
+	}
+	ready := func(lp *literalPlan) bool {
+		if lp.negated {
+			return false // negated literals run last (fallback order)
+		}
+		boundOf := func(i int) bool {
+			a := lp.args[i]
+			return a.isConst || boundSlot[a.slot]
+		}
+		switch lp.builtin {
+		case builtinSucc:
+			return boundOf(0) || boundOf(1)
+		case builtinLt, builtinNeq:
+			return boundOf(0) && boundOf(1)
+		}
+		return true
+	}
+	relSize := func(lp *literalPlan) int {
+		if lp.builtin != notBuiltin {
+			return 1
+		}
+		if rel, ok := ev.out.Lookup(lp.key); ok {
+			return rel.Len()
+		}
+		return 0
+	}
+	for len(order) < len(plan.body) {
+		best, bestBound, bestSize := -1, -1, 0
+		for li := range plan.body {
+			if used[li] {
+				continue
+			}
+			lp := &plan.body[li]
+			if !ready(lp) {
+				continue
+			}
+			boundArgs := 0
+			for _, a := range lp.args {
+				if a.isConst || boundSlot[a.slot] {
+					boundArgs++
+				}
+			}
+			size := relSize(lp)
+			// More bound arguments first; among ties, the smaller relation
+			// (selectivity proxy, measured at first evaluation); then the
+			// textual order.
+			if boundArgs > bestBound || (boundArgs == bestBound && size < bestSize) {
+				best, bestBound, bestSize = li, boundArgs, size
+			}
+		}
+		if best < 0 {
+			// Only unready builtins remain: fall back to textual order
+			// (the runtime will report the binding error if it is real).
+			for li := range plan.body {
+				if !used[li] {
+					take(li)
+				}
+			}
+			break
+		}
+		take(best)
+	}
+	plan.orders[deltaOcc] = order
+	return order
+}
+
+// evalRule joins the body of plan (with the deltaOcc-th derived occurrence
+// reading the delta) and feeds the head tuples to emit.
+func (ev *evaluator) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactRef) error) error {
+	if cap(ev.slotVals) < plan.slots {
+		ev.slotVals = make([]int32, plan.slots)
+		ev.slotBound = make([]bool, plan.slots)
+	}
+	vals := ev.slotVals[:plan.slots]
+	bound := ev.slotBound[:plan.slots]
+	for i := range bound {
+		bound[i] = false
+	}
+	if ev.opt.TrackProvenance {
+		if cap(ev.bodyFacts) < len(plan.body) {
+			ev.bodyFacts = make([]FactRef, len(plan.body))
+		}
+	}
+	// Per-depth scratch for the bound-column probe and the newly bound
+	// slots, reused across all tuples of a literal.
+	for len(ev.colsBuf) < len(plan.body) {
+		ev.colsBuf = append(ev.colsBuf, make([]int, 0, 8))
+		ev.valsBuf = append(ev.valsBuf, make(Tuple, 0, 8))
+		ev.newlyBuf = append(ev.newlyBuf, make([]int, 0, 8))
+	}
+	order := ev.joinOrder(plan, deltaOcc)
+	var rec func(step int) error
+	rec = func(step int) error {
+		li := step
+		if order != nil && step < len(order) {
+			li = order[step]
+		}
+		if step == len(plan.body) {
+			head := make(Tuple, len(plan.head))
+			for i, a := range plan.head {
+				if a.isConst {
+					head[i] = a.constID
+				} else {
+					head[i] = vals[a.slot]
+				}
+			}
+			var just []FactRef
+			if ev.opt.TrackProvenance {
+				just = append(just, ev.bodyFacts[:len(plan.body)]...)
+			}
+			return emit(head, just)
+		}
+		lp := &plan.body[li]
+		if lp.builtin != notBuiltin {
+			return ev.evalBuiltin(plan, lp, step, vals, bound, rec)
+		}
+		rel := ev.relationFor(lp, deltaOcc)
+		cols := ev.colsBuf[step][:0]
+		cvals := ev.valsBuf[step][:0]
+		for i, a := range lp.args {
+			if a.isConst {
+				cols = append(cols, i)
+				cvals = append(cvals, a.constID)
+			} else if bound[a.slot] {
+				cols = append(cols, i)
+				cvals = append(cvals, vals[a.slot])
+			}
+		}
+		ev.colsBuf[step], ev.valsBuf[step] = cols, cvals
+		if lp.negated {
+			// Negation as failure against the finished lower-stratum
+			// relation. Safety has bound every named variable; remaining
+			// unbound positions are anonymous wildcards.
+			ev.stats.JoinProbes++
+			if len(rel.Match(cols, cvals)) == 0 {
+				if ev.opt.TrackProvenance {
+					ev.bodyFacts[li] = FactRef{}
+				}
+				return rec(step + 1)
+			}
+			return nil
+		}
+		ev.stats.JoinProbes++
+		for _, ti := range rel.Match(cols, cvals) {
+			t := rel.Tuple(ti)
+			newly := ev.newlyBuf[step][:0]
+			ok := true
+			for i, a := range lp.args {
+				if a.isConst {
+					continue
+				}
+				if bound[a.slot] {
+					if vals[a.slot] != t[i] {
+						ok = false
+						break
+					}
+				} else {
+					vals[a.slot] = t[i]
+					bound[a.slot] = true
+					newly = append(newly, a.slot)
+				}
+			}
+			ev.newlyBuf[step] = newly
+			if ok {
+				if ev.opt.TrackProvenance {
+					ev.bodyFacts[li] = FactRef{Key: lp.key, Row: t}
+				}
+				if err := rec(step + 1); err != nil {
+					return err
+				}
+			}
+			for _, s := range newly {
+				bound[s] = false
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+func (ev *evaluator) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals []int32, bound []bool, rec func(int) error) error {
+	get := func(a argRef) (int32, bool) {
+		if a.isConst {
+			return a.constID, true
+		}
+		if bound[a.slot] {
+			return vals[a.slot], true
+		}
+		return 0, false
+	}
+	num := func(id int32) (int, bool) {
+		n, err := strconv.Atoi(ev.out.Syms.Name(id))
+		return n, err == nil
+	}
+	x, xok := get(lp.args[0])
+	y, yok := get(lp.args[1])
+	switch lp.builtin {
+	case builtinSucc:
+		// succ(I,J) over the naturals: J = I+1. Either side may be bound;
+		// the counting rewrite uses both directions (climbing binds I,
+		// descending binds J).
+		switch {
+		case xok:
+			n, ok := num(x)
+			if !ok {
+				return nil // non-numeric constant: no successor
+			}
+			ny := ev.out.Syms.Intern(strconv.Itoa(n + 1))
+			if yok {
+				if y == ny {
+					return rec(step + 1)
+				}
+				return nil
+			}
+			a := lp.args[1]
+			vals[a.slot], bound[a.slot] = ny, true
+			err := rec(step + 1)
+			bound[a.slot] = false
+			return err
+		case yok:
+			n, ok := num(y)
+			if !ok || n < 1 {
+				return nil
+			}
+			nx := ev.out.Syms.Intern(strconv.Itoa(n - 1))
+			a := lp.args[0]
+			vals[a.slot], bound[a.slot] = nx, true
+			err := rec(step + 1)
+			bound[a.slot] = false
+			return err
+		default:
+			return fmt.Errorf("rule %d: succ/2 requires at least one argument bound", plan.idx+1)
+		}
+	case builtinLt:
+		if !xok || !yok {
+			return fmt.Errorf("rule %d: lt/2 requires both arguments bound", plan.idx+1)
+		}
+		nx, ok1 := num(x)
+		ny, ok2 := num(y)
+		if ok1 && ok2 && nx < ny {
+			return rec(step + 1)
+		}
+		return nil
+	case builtinNeq:
+		if !xok || !yok {
+			return fmt.Errorf("rule %d: neq/2 requires both arguments bound", plan.idx+1)
+		}
+		if x != y {
+			return rec(step + 1)
+		}
+		return nil
+	}
+	return fmt.Errorf("rule %d: unknown builtin", plan.idx+1)
+}
+
+// insertDerived adds a head tuple to the full relation (and the "next"
+// delta for semi-naive), maintaining counters, limits, and provenance.
+func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, collectNext bool) error {
+	ev.stats.Derivations++
+	rel := ev.out.Relation(plan.headKey, len(head))
+	if !rel.Insert(head) {
+		ev.stats.DuplicateHits++
+		return nil
+	}
+	ev.stats.FactsDerived++
+	if collectNext {
+		nx, ok := ev.next[plan.headKey]
+		if !ok {
+			nx = NewRelation(len(head))
+			ev.next[plan.headKey] = nx
+		}
+		nx.Insert(head)
+	}
+	if ev.opt.TrackProvenance {
+		m, ok := ev.prov[plan.headKey]
+		if !ok {
+			m = make(map[string]Justification)
+			ev.prov[plan.headKey] = m
+		}
+		kept := just[:0]
+		for _, f := range just {
+			if f.Key != "" {
+				kept = append(kept, f)
+			}
+		}
+		m[tupleKey(head)] = Justification{Rule: plan.idx, Body: kept}
+	}
+	if ev.opt.MaxFacts > 0 && ev.stats.FactsDerived > ev.opt.MaxFacts {
+		return ErrFactLimit
+	}
+	return nil
+}
+
+func (ev *evaluator) runNaive() error {
+	for level := 0; level <= ev.maxStrat; level++ {
+		if err := ev.runNaiveStratum(level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) runNaiveStratum(level int) error {
+	for {
+		ev.stats.Iterations++
+		if ev.stats.Iterations > ev.opt.MaxIterations {
+			return ErrIterationLimit
+		}
+		before := ev.stats.FactsDerived
+		for pi, plan := range ev.plans {
+			if !ev.active[pi] || plan.stratum != level {
+				continue
+			}
+			err := ev.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
+				return ev.insertDerived(plan, t, just, false)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		ev.applyCut()
+		if ev.stats.FactsDerived == before {
+			return nil
+		}
+	}
+}
+
+func (ev *evaluator) runSemiNaive() error {
+	for level := 0; level <= ev.maxStrat; level++ {
+		if err := ev.runSemiNaiveStratum(level); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *evaluator) runSemiNaiveStratum(level int) error {
+	// Startup pass: evaluate this stratum's rules against the full
+	// relations (which contain lower strata and any derived-predicate
+	// seeds); everything currently in this stratum's relations becomes the
+	// first delta.
+	ev.stats.Iterations++
+	stratumKeys := map[string]bool{}
+	for pi, plan := range ev.plans {
+		if plan.stratum != level {
+			continue
+		}
+		stratumKeys[plan.headKey] = true
+		if !ev.active[pi] {
+			continue
+		}
+		err := ev.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
+			return ev.insertDerived(plan, t, just, false)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	ev.deltas = make(map[string]*Relation)
+	for key := range stratumKeys {
+		if rel, ok := ev.out.Lookup(key); ok && rel.Len() > 0 {
+			ev.deltas[key] = rel.Clone()
+		}
+	}
+	ev.applyCut()
+
+	for len(ev.deltas) > 0 {
+		ev.stats.Iterations++
+		if ev.stats.Iterations > ev.opt.MaxIterations {
+			return ErrIterationLimit
+		}
+		ev.next = make(map[string]*Relation)
+		for pi, plan := range ev.plans {
+			if !ev.active[pi] || plan.stratum != level || plan.nDeltas == 0 {
+				continue
+			}
+			for occ := 0; occ < plan.nDeltas; occ++ {
+				// Skip versions whose delta occurrence has an empty delta.
+				target := ""
+				for _, lp := range plan.body {
+					if lp.occ == occ {
+						target = lp.key
+						break
+					}
+				}
+				if _, ok := ev.deltas[target]; !ok {
+					continue
+				}
+				err := ev.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
+					return ev.insertDerived(plan, t, just, true)
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+		ev.deltas = ev.next
+		ev.applyCut()
+	}
+	return nil
+}
+
+// applyCut retires boolean rules whose head already holds and cascades to
+// rules that now feed nothing (Section 3.1).
+func (ev *evaluator) applyCut() {
+	if !ev.opt.BooleanCut {
+		return
+	}
+	changed := false
+	for pi, plan := range ev.plans {
+		if ev.active[pi] && plan.boolHead && ev.out.Count(plan.headKey) > 0 {
+			ev.active[pi] = false
+			ev.stats.RulesRetired++
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	// Cascade: a predicate is needed only if it is reachable from the
+	// query through the bodies of still-active rules (a recursive rule
+	// must not keep its own head alive). Rules whose head is no longer
+	// needed retire, which can unneed further predicates.
+	for {
+		needed := map[string]bool{ev.queryKey: true}
+		for grew := true; grew; {
+			grew = false
+			for pi, plan := range ev.plans {
+				if !ev.active[pi] || !needed[plan.headKey] {
+					continue
+				}
+				for _, lp := range plan.body {
+					if !needed[lp.key] {
+						needed[lp.key] = true
+						grew = true
+					}
+				}
+			}
+		}
+		retired := false
+		for pi, plan := range ev.plans {
+			if ev.active[pi] && !needed[plan.headKey] {
+				ev.active[pi] = false
+				ev.stats.RulesRetired++
+				retired = true
+			}
+		}
+		if !retired {
+			return
+		}
+	}
+}

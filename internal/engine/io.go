@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// LoadCSV reads comma-separated rows into relation rel; every row becomes
+// one tuple (fields are constants). All rows must have the same width,
+// which fixes the relation's arity. It returns the number of distinct
+// tuples added.
+func (db *Database) LoadCSV(rel string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated manually for a better message
+	added := 0
+	arity := -1
+	if existing, ok := db.Lookup(rel); ok {
+		arity = existing.Arity()
+	}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return added, nil
+		}
+		if err != nil {
+			return added, fmt.Errorf("engine: csv %s: %w", rel, err)
+		}
+		line++
+		if arity == -1 {
+			arity = len(rec)
+		}
+		if len(rec) != arity {
+			return added, fmt.Errorf("engine: csv %s row %d: %d fields, want %d",
+				rel, line, len(rec), arity)
+		}
+		if db.Add(rel, rec...) {
+			added++
+		}
+	}
+}
+
+// WriteCSV writes relation rel as comma-separated rows in sorted order.
+func (db *Database) WriteCSV(rel string, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, row := range db.Facts(rel) {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("engine: csv %s: %w", rel, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

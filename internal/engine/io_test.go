@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	db := NewDatabase()
+	n, err := db.LoadCSV("e", strings.NewReader("a,b\nb,c\na,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("added = %d, want 2 (one duplicate)", n)
+	}
+	if db.Count("e") != 2 {
+		t.Errorf("count = %d", db.Count("e"))
+	}
+}
+
+func TestLoadCSVArityMismatch(t *testing.T) {
+	db := NewDatabase()
+	_, err := db.LoadCSV("e", strings.NewReader("a,b\nc\n"))
+	if err == nil || !strings.Contains(err.Error(), "row 2") {
+		t.Errorf("err = %v", err)
+	}
+	// Against an existing relation's arity too.
+	db2 := NewDatabase()
+	db2.Add("e", "x", "y")
+	if _, err := db2.LoadCSV("e", strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("arity mismatch with existing relation should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := NewDatabase()
+	db.Add("e", "b", "2")
+	db.Add("e", "a", "1")
+	db.Add("e", "a b", "with,comma")
+	var sb strings.Builder
+	if err := db.WriteCSV("e", &sb); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDatabase()
+	if _, err := db2.LoadCSV("e", strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	a, b := db.Facts("e"), db2.Facts("e")
+	if len(a) != len(b) {
+		t.Fatalf("round trip lost rows: %v vs %v", a, b)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Errorf("row %d col %d: %q vs %q", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteCSVEmptyRelation(t *testing.T) {
+	db := NewDatabase()
+	var sb strings.Builder
+	if err := db.WriteCSV("nope", &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty relation wrote %q", sb.String())
+	}
+}

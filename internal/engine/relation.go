@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"sort"
+)
+
+// Tuple is a row of interned constant ids.
+type Tuple []int32
+
+// tupleKey encodes a tuple as a compact string for set membership and
+// index keys.
+func tupleKey(t Tuple) string {
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// projKey encodes the projection of t onto cols (cols ascending).
+func projKey(t Tuple, cols []int) string {
+	b := make([]byte, 0, len(cols)*4)
+	for _, c := range cols {
+		v := t[c]
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// Relation is a set of tuples of fixed arity with hash indexes built on
+// demand per bound-column signature. Insertion order is preserved, which
+// keeps evaluation deterministic.
+type Relation struct {
+	arity   int
+	tuples  []Tuple
+	set     map[string]struct{}
+	indexes map[uint64]*index
+}
+
+type index struct {
+	cols    []int // ascending
+	buckets map[string][]int
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{
+		arity: arity,
+		set:   make(map[string]struct{}),
+	}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the stored tuples in insertion order. The caller must not
+// mutate them.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.set[tupleKey(t)]
+	return ok
+}
+
+// Insert adds t (copied) and reports whether it was new.
+func (r *Relation) Insert(t Tuple) bool {
+	k := tupleKey(t)
+	if _, ok := r.set[k]; ok {
+		return false
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.set[k] = struct{}{}
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, cp)
+	for _, ix := range r.indexes {
+		pk := projKey(cp, ix.cols)
+		ix.buckets[pk] = append(ix.buckets[pk], idx)
+	}
+	return true
+}
+
+// colMask returns the bitmask signature of a bound-column set.
+func colMask(cols []int) uint64 {
+	var m uint64
+	for _, c := range cols {
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// Match returns the indices of tuples whose projection onto cols equals
+// vals (parallel slices; cols need not be sorted). With empty cols it
+// returns all tuple indices.
+func (r *Relation) Match(cols []int, vals []int32) []int {
+	if len(cols) == 0 {
+		out := make([]int, len(r.tuples))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Fast path: the engine's join always probes with ascending columns.
+	ascending := true
+	for i := 1; i < len(cols); i++ {
+		if cols[i] <= cols[i-1] {
+			ascending = false
+			break
+		}
+	}
+	scols, svals := cols, Tuple(vals)
+	if !ascending {
+		type cv struct {
+			c int
+			v int32
+		}
+		cvs := make([]cv, len(cols))
+		for i := range cols {
+			cvs[i] = cv{cols[i], vals[i]}
+		}
+		sort.Slice(cvs, func(i, j int) bool { return cvs[i].c < cvs[j].c })
+		sc := make([]int, len(cvs))
+		sv := make(Tuple, len(cvs))
+		for i, x := range cvs {
+			sc[i] = x.c
+			sv[i] = x.v
+		}
+		scols, svals = sc, sv
+	}
+	mask := colMask(scols)
+	ix, ok := r.indexes[mask]
+	if !ok {
+		ix = &index{cols: append([]int(nil), scols...), buckets: make(map[string][]int)}
+		for i, t := range r.tuples {
+			pk := projKey(t, ix.cols)
+			ix.buckets[pk] = append(ix.buckets[pk], i)
+		}
+		if r.indexes == nil {
+			r.indexes = make(map[uint64]*index)
+		}
+		r.indexes[mask] = ix
+	}
+	return ix.buckets[tupleKey(svals)]
+}
+
+// Tuple returns the i-th tuple.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Clone returns a deep copy (indexes are not copied; they rebuild on
+// demand).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.arity)
+	for _, t := range r.tuples {
+		c.Insert(t)
+	}
+	return c
+}

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+
+	"existdlog/internal/ast"
+)
+
+// Retract removes base facts from a previous evaluation result and brings
+// the derived relations up to date with the delete-and-rederive (DRed)
+// strategy:
+//
+//  1. over-delete: every derived fact with a derivation using a deleted
+//     fact is marked, semi-naively, against the pre-deletion relations;
+//  2. the marked facts are removed;
+//  3. re-derive: marked facts with alternative derivations from the
+//     surviving facts are put back, and the insertions propagate
+//     semi-naively.
+//
+// Positive programs only (negation would need stratified DRed), and
+// removed may only name base predicates. prev must come from Eval, Update
+// or Retract of the same program.
+func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Result, error) {
+	if opt.MaxIterations == 0 {
+		opt.MaxIterations = 1 << 20
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("engine: incremental retraction under negation is not supported (re-evaluate)")
+	}
+	for _, key := range removed.Keys() {
+		if p.Derived[key] {
+			return nil, fmt.Errorf("engine: Retract cannot remove facts for derived predicate %s", key)
+		}
+	}
+
+	ev := &evaluator{
+		opt:      opt,
+		out:      prev.DB.Clone(),
+		derived:  p.Derived,
+		arity:    make(map[string]int),
+		deltas:   make(map[string]*Relation),
+		next:     make(map[string]*Relation),
+		queryKey: p.Query.Key(),
+	}
+	if opt.TrackProvenance {
+		ev.prov = make(map[string]map[string]Justification)
+		for k, m := range prev.prov {
+			cp := make(map[string]Justification, len(m))
+			for fk, j := range m {
+				cp[fk] = j
+			}
+			ev.prov[k] = cp
+		}
+	}
+	if err := ev.compile(p); err != nil {
+		return nil, err
+	}
+
+	// Dead set, seeded with the removed base facts that actually exist.
+	dead := map[string]map[string]bool{} // key -> tupleKey -> true
+	markDead := func(key string, t Tuple) bool {
+		m, ok := dead[key]
+		if !ok {
+			m = map[string]bool{}
+			dead[key] = m
+		}
+		tk := tupleKey(t)
+		if m[tk] {
+			return false
+		}
+		m[tk] = true
+		return true
+	}
+	for _, key := range removed.Keys() {
+		rel, _ := removed.Lookup(key)
+		cur, ok := ev.out.Lookup(key)
+		if !ok {
+			continue
+		}
+		for _, row := range removed.Facts(key) {
+			t := make(Tuple, len(row))
+			miss := false
+			for i, name := range row {
+				id, ok := ev.out.Syms.Lookup(name)
+				if !ok {
+					miss = true
+					break
+				}
+				t[i] = id
+			}
+			if miss || !cur.Contains(t) {
+				continue
+			}
+			if markDead(key, t) {
+				d, ok := ev.deltas[key]
+				if !ok {
+					d = NewRelation(rel.Arity())
+					ev.deltas[key] = d
+				}
+				d.Insert(t)
+			}
+		}
+	}
+	if len(ev.deltas) == 0 {
+		return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+	}
+
+	// Phase 1 — over-delete, semi-naively against PRE-deletion relations:
+	// a head is marked if some rule instance uses a marked fact.
+	for len(ev.deltas) > 0 {
+		ev.stats.Iterations++
+		if ev.stats.Iterations > ev.opt.MaxIterations {
+			return nil, ErrIterationLimit
+		}
+		ev.next = make(map[string]*Relation)
+		for pi, plan := range ev.plans {
+			if !ev.active[pi] || plan.nDeltas == 0 {
+				continue
+			}
+			for occ := 0; occ < plan.nDeltas; occ++ {
+				target := ""
+				for _, lp := range plan.body {
+					if lp.occ == occ {
+						target = lp.key
+						break
+					}
+				}
+				if _, ok := ev.deltas[target]; !ok {
+					continue
+				}
+				err := ev.evalRule(plan, occ, func(t Tuple, _ []FactRef) error {
+					ev.stats.Derivations++
+					if rel, ok := ev.out.Lookup(plan.headKey); ok && rel.Contains(t) && markDead(plan.headKey, t) {
+						nx, ok := ev.next[plan.headKey]
+						if !ok {
+							nx = NewRelation(len(t))
+							ev.next[plan.headKey] = nx
+						}
+						nx.Insert(t)
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		ev.deltas = ev.next
+	}
+
+	// Phase 2 — physically remove the marked facts (and their recorded
+	// justifications).
+	for key, dm := range dead {
+		old, ok := ev.out.Lookup(key)
+		if !ok {
+			continue
+		}
+		fresh := NewRelation(old.Arity())
+		for _, t := range old.Tuples() {
+			if !dm[tupleKey(t)] {
+				fresh.Insert(t)
+			}
+		}
+		ev.out.Replace(key, fresh)
+		if ev.prov != nil {
+			if m, ok := ev.prov[key]; ok {
+				for tk := range dm {
+					delete(m, tk)
+				}
+			}
+		}
+	}
+
+	// Phase 3 — re-derive: evaluate the rules whose heads were touched,
+	// keep heads that were marked dead (alternative derivations), and
+	// propagate the re-insertions semi-naively.
+	ev.deltas = make(map[string]*Relation)
+	ev.next = make(map[string]*Relation)
+	for pi, plan := range ev.plans {
+		if !ev.active[pi] {
+			continue
+		}
+		dm, touched := dead[plan.headKey]
+		if !touched {
+			continue
+		}
+		err := ev.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
+			if !dm[tupleKey(t)] {
+				return nil // still present; nothing to re-derive
+			}
+			if err := ev.insertDerived(plan, t, just, true); err != nil {
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	ev.deltas = ev.next
+	for len(ev.deltas) > 0 {
+		ev.stats.Iterations++
+		if ev.stats.Iterations > ev.opt.MaxIterations {
+			return nil, ErrIterationLimit
+		}
+		ev.next = make(map[string]*Relation)
+		for pi, plan := range ev.plans {
+			if !ev.active[pi] || plan.nDeltas == 0 {
+				continue
+			}
+			for occ := 0; occ < plan.nDeltas; occ++ {
+				target := ""
+				for _, lp := range plan.body {
+					if lp.occ == occ {
+						target = lp.key
+						break
+					}
+				}
+				if _, ok := ev.deltas[target]; !ok {
+					continue
+				}
+				err := ev.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
+					return ev.insertDerived(plan, t, just, true)
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		ev.deltas = ev.next
+	}
+	return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+}

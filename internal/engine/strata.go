@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"existdlog/internal/ast"
+)
+
+// Stratify computes a stratification of the program's derived predicates
+// for negation-as-failure semantics: stratum(H) ≥ stratum(B) for positive
+// dependencies and stratum(H) > stratum(B) for negated ones. It returns
+// the stratum of every derived predicate key (base predicates are stratum
+// 0) and an error if negation occurs inside a recursive component.
+func Stratify(p *ast.Program) (map[string]int, error) {
+	type edge struct {
+		to  string
+		neg bool
+	}
+	deps := map[string][]edge{}
+	for _, r := range p.Rules {
+		h := r.Head.Key()
+		for _, b := range r.Body {
+			if p.Derived[b.Key()] {
+				deps[h] = append(deps[h], edge{b.Key(), b.Negated})
+			}
+		}
+	}
+	keys := make([]string, 0, len(p.Derived))
+	for k := range p.Derived {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	strata := map[string]int{}
+	for _, k := range keys {
+		strata[k] = 0
+	}
+	// Bellman-Ford-style relaxation: at most |keys| rounds; one more
+	// improvement means a negative cycle (negation through recursion).
+	for round := 0; ; round++ {
+		changed := false
+		for _, h := range keys {
+			for _, e := range deps[h] {
+				want := strata[e.to]
+				if e.neg {
+					want++
+				}
+				if strata[h] < want {
+					strata[h] = want
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return strata, nil
+		}
+		if round > len(keys)+1 {
+			return nil, fmt.Errorf("engine: program is not stratifiable (negation through recursion)")
+		}
+	}
+}

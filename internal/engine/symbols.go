@@ -1,0 +1,61 @@
+// Package engine is the bottom-up evaluation substrate: interned constants,
+// indexed tuple relations, and naive / semi-naive fixpoint evaluation of
+// Datalog programs, including the runtime boolean-cut optimization of
+// Section 3.1 of the paper (a rule defining a boolean predicate is retired
+// from the fixpoint computation once the predicate becomes true).
+package engine
+
+// AnonID is the interned id of the reserved constant "_" used to fill
+// anonymous head arguments produced by the connected-component rewrite
+// (the argument position is existential, so any witness value is
+// admissible; it is dropped entirely once projections are pushed).
+const AnonID int32 = 0
+
+// Symbols interns constant names to dense int32 ids. Id 0 is reserved for
+// the anonymous constant "_".
+type Symbols struct {
+	names []string
+	ids   map[string]int32
+}
+
+// NewSymbols returns a fresh interner with "_" pre-interned as id 0.
+func NewSymbols() *Symbols {
+	s := &Symbols{ids: make(map[string]int32)}
+	s.Intern("_")
+	return s
+}
+
+// Intern returns the id for name, assigning a new one if needed.
+func (s *Symbols) Intern(name string) int32 {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := int32(len(s.names))
+	s.names = append(s.names, name)
+	s.ids[name] = id
+	return id
+}
+
+// Lookup returns the id for name without interning.
+func (s *Symbols) Lookup(name string) (int32, bool) {
+	id, ok := s.ids[name]
+	return id, ok
+}
+
+// Name returns the constant name for id.
+func (s *Symbols) Name(id int32) string { return s.names[id] }
+
+// Len returns the number of interned constants.
+func (s *Symbols) Len() int { return len(s.names) }
+
+// Clone returns an independent copy of the interner.
+func (s *Symbols) Clone() *Symbols {
+	c := &Symbols{
+		names: append([]string(nil), s.names...),
+		ids:   make(map[string]int32, len(s.ids)),
+	}
+	for k, v := range s.ids {
+		c.ids[k] = v
+	}
+	return c
+}

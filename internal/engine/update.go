@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+
+	"existdlog/internal/ast"
+)
+
+// Update extends a previous evaluation result with newly added base facts
+// and brings the derived relations up to date incrementally: the
+// semi-naive delta loop is seeded with just the additions, so unaffected
+// parts of the fixpoint are never re-derived (view maintenance for
+// monotone programs).
+//
+// Restrictions: added may only contain facts for base (non-derived)
+// predicates, and the program must be positive — fact insertion under
+// negation can retract derived facts, which requires deletion propagation
+// (DRed) that this engine does not implement; Update returns an error in
+// both cases, and callers should fall back to a full Eval.
+//
+// prev must come from an Eval (or Update) of the same program with the
+// same options; provenance continuity is preserved when TrackProvenance
+// was set there.
+func Update(p *ast.Program, prev *Result, added *Database, opt Options) (*Result, error) {
+	if opt.MaxIterations == 0 {
+		opt.MaxIterations = 1 << 20
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("engine: incremental update under negation is not supported (re-evaluate)")
+	}
+	for _, key := range added.Keys() {
+		if p.Derived[key] {
+			return nil, fmt.Errorf("engine: Update cannot add facts for derived predicate %s", key)
+		}
+	}
+
+	ev := &evaluator{
+		opt:      opt,
+		out:      prev.DB.Clone(),
+		derived:  p.Derived,
+		arity:    make(map[string]int),
+		deltas:   make(map[string]*Relation),
+		next:     make(map[string]*Relation),
+		queryKey: p.Query.Key(),
+	}
+	if opt.TrackProvenance {
+		ev.prov = make(map[string]map[string]Justification)
+		for k, m := range prev.prov {
+			cp := make(map[string]Justification, len(m))
+			for fk, j := range m {
+				cp[fk] = j
+			}
+			ev.prov[k] = cp
+		}
+	}
+	if err := ev.compile(p); err != nil {
+		return nil, err
+	}
+
+	// Merge the additions, keeping only genuinely new tuples as deltas.
+	for _, key := range added.Keys() {
+		rel, _ := added.Lookup(key)
+		for _, row := range added.Facts(key) {
+			t := make(Tuple, len(row))
+			for i, name := range row {
+				t[i] = ev.out.Syms.Intern(name)
+			}
+			if ev.out.Relation(key, rel.Arity()).Insert(t) {
+				d, ok := ev.deltas[key]
+				if !ok {
+					d = NewRelation(rel.Arity())
+					ev.deltas[key] = d
+				}
+				d.Insert(t)
+			}
+		}
+	}
+	if len(ev.deltas) == 0 {
+		return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+	}
+
+	// Delta loop only — no startup pass: everything derivable without the
+	// additions is already in prev.
+	for len(ev.deltas) > 0 {
+		ev.stats.Iterations++
+		if ev.stats.Iterations > ev.opt.MaxIterations {
+			return nil, ErrIterationLimit
+		}
+		ev.next = make(map[string]*Relation)
+		for pi, plan := range ev.plans {
+			if !ev.active[pi] || plan.nDeltas == 0 {
+				continue
+			}
+			for occ := 0; occ < plan.nDeltas; occ++ {
+				target := ""
+				for _, lp := range plan.body {
+					if lp.occ == occ {
+						target = lp.key
+						break
+					}
+				}
+				if _, ok := ev.deltas[target]; !ok {
+					continue
+				}
+				err := ev.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
+					return ev.insertDerived(plan, t, just, true)
+				})
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		ev.deltas = ev.next
+		ev.applyCut()
+	}
+	return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+}

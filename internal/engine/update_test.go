@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Incremental maintenance must match recomputation from scratch, on
+// random edge streams over the transitive-closure program.
+func TestUpdateMatchesRecomputation(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(5)
+		base := NewDatabase()
+		for i := 0; i < n; i++ {
+			base.Add("p", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+		}
+		res, err := Eval(p, base, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stream three batches of additions.
+		full := base.Clone()
+		for batch := 0; batch < 3; batch++ {
+			added := NewDatabase()
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				x, y := fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n))
+				added.Add("p", x, y)
+				full.Add("p", x, y)
+			}
+			res, err = Update(p, res, added, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Eval(p, full, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(res.DB.Facts("a")) != fmt.Sprint(want.DB.Facts("a")) {
+				t.Fatalf("trial %d batch %d: incremental diverged\ninc:  %v\nfull: %v",
+					trial, batch, res.DB.Facts("a"), want.DB.Facts("a"))
+			}
+		}
+	}
+}
+
+// The point of Update: work proportional to the change, not the database.
+func TestUpdateIsIncremental(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	db := NewDatabase()
+	for i := 0; i < 300; i++ {
+		db.Add("p", fmt.Sprint(i), fmt.Sprint(i+1))
+	}
+	res, err := Eval(p, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDerivs := res.Stats.Derivations
+	added := NewDatabase()
+	added.Add("p", "301", "302") // a disconnected edge
+	upd, err := Update(p, res, added, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Stats.Derivations > 10 {
+		t.Errorf("disconnected addition should do O(1) work, did %d derivations (full run: %d)",
+			upd.Stats.Derivations, fullDerivs)
+	}
+	if upd.DB.Count("a") != res.DB.Count("a")+1 {
+		t.Errorf("a count = %d, want %d", upd.DB.Count("a"), res.DB.Count("a")+1)
+	}
+}
+
+func TestUpdateDuplicateAdditionIsNoop(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	db := chainDB(5)
+	res, err := Eval(p, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := NewDatabase()
+	added.Add("p", "0", "1") // already present
+	upd, err := Update(p, res, added, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.Stats.Derivations != 0 || upd.DB.Count("a") != res.DB.Count("a") {
+		t.Errorf("duplicate addition did work: %+v", upd.Stats)
+	}
+}
+
+func TestUpdateRejectsDerivedAndNegation(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	db := chainDB(3)
+	res, err := Eval(p, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewDatabase()
+	bad.Add("a", "9", "9")
+	if _, err := Update(p, res, bad, Options{}); err == nil {
+		t.Error("derived additions must be rejected")
+	}
+	neg := mustParse(t, `
+only(X) :- n(X), not a(X,X).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- only(X).
+`)
+	nres, err := Eval(neg, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := NewDatabase()
+	add.Add("p", "7", "8")
+	if _, err := Update(neg, nres, add, Options{}); err == nil {
+		t.Error("negation must be rejected")
+	}
+}
+
+// Provenance continuity: facts derived before and after the update both
+// have derivation trees.
+func TestUpdateProvenanceContinuity(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	db := chainDB(3)
+	res, err := Eval(p, db, Options{TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := NewDatabase()
+	added.Add("p", "3", "4")
+	upd, err := Update(p, res, added, Options{TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range [][]string{{"0", "3"}, {"0", "4"}} {
+		if _, ok := upd.Derivation("a", row); !ok {
+			t.Errorf("no derivation for a(%v) after update", row)
+		}
+	}
+}
+
+// DRed retraction must match recomputation on random edge streams, with
+// interleaved additions.
+func TestRetractMatchesRecomputation(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(5)
+		full := NewDatabase()
+		var edges [][2]string
+		for i := 0; i < 2*n; i++ {
+			x, y := fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n))
+			if full.Add("p", x, y) {
+				edges = append(edges, [2]string{x, y})
+			}
+		}
+		res, err := Eval(p, full, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 4 && len(edges) > 0; batch++ {
+			if rng.Intn(2) == 0 && len(edges) > 1 {
+				// Remove a random known edge.
+				i := rng.Intn(len(edges))
+				e := edges[i]
+				edges = append(edges[:i], edges[i+1:]...)
+				removed := NewDatabase()
+				removed.Add("p", e[0], e[1])
+				res, err = Retract(p, res, removed, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				x, y := fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n))
+				added := NewDatabase()
+				added.Add("p", x, y)
+				dup := false
+				for _, e := range edges {
+					if e[0] == x && e[1] == y {
+						dup = true
+					}
+				}
+				if !dup {
+					edges = append(edges, [2]string{x, y})
+				}
+				res, err = Update(p, res, added, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := NewDatabase()
+			for _, e := range edges {
+				want.Add("p", e[0], e[1])
+			}
+			ref, err := Eval(p, want, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(res.DB.Facts("a")) != fmt.Sprint(ref.DB.Facts("a")) {
+				t.Fatalf("trial %d batch %d: diverged\ninc:  %v\nfull: %v",
+					trial, batch, res.DB.Facts("a"), ref.DB.Facts("a"))
+			}
+			if fmt.Sprint(res.DB.Facts("p")) != fmt.Sprint(ref.DB.Facts("p")) {
+				t.Fatalf("trial %d batch %d: base relation diverged", trial, batch)
+			}
+		}
+	}
+}
+
+// Retracting one edge of a diamond keeps the closure facts that survive
+// via the other path (re-derivation).
+func TestRetractRederivesAlternatives(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	db := NewDatabase()
+	db.Add("p", "0", "1")
+	db.Add("p", "0", "2")
+	db.Add("p", "1", "3")
+	db.Add("p", "2", "3")
+	res, err := Eval(p, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := NewDatabase()
+	removed.Add("p", "1", "3")
+	upd, err := Retract(p, res, removed, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"0,1": true, "0,2": true, "0,3": true, "2,3": true}
+	got := map[string]bool{}
+	for _, row := range upd.DB.Facts("a") {
+		got[row[0]+","+row[1]] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("a = %v", upd.DB.Facts("a"))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing %s (0,3 must survive via 0->2->3)", k)
+		}
+	}
+}
+
+func TestRetractRejectsDerivedAndMissing(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	db := chainDB(4)
+	res, err := Eval(p, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := NewDatabase()
+	bad.Add("a", "0", "1")
+	if _, err := Retract(p, res, bad, Options{}); err == nil {
+		t.Error("derived retractions must be rejected")
+	}
+	// Removing an absent fact is a no-op.
+	absent := NewDatabase()
+	absent.Add("p", "77", "78")
+	upd, err := Retract(p, res, absent, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if upd.DB.Count("a") != res.DB.Count("a") {
+		t.Error("absent retraction changed the closure")
+	}
+}
+
+// Provenance stays well-founded across a retraction.
+func TestRetractProvenance(t *testing.T) {
+	p := mustParse(t, tcSrc)
+	db := NewDatabase()
+	db.Add("p", "0", "1")
+	db.Add("p", "0", "2")
+	db.Add("p", "1", "3")
+	db.Add("p", "2", "3")
+	res, err := Eval(p, db, Options{TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := NewDatabase()
+	removed.Add("p", "1", "3")
+	upd, err := Retract(p, res, removed, Options{TrackProvenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, ok := upd.Derivation("a", []string{"0", "3"})
+	if !ok {
+		t.Fatal("a(0,3) lost its derivation")
+	}
+	var leaves []string
+	var walk func(n *Tree)
+	walk = func(n *Tree) {
+		if len(n.Children) == 0 {
+			leaves = append(leaves, fmt.Sprint(upd.RowStrings(n.Fact.Row)))
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	for _, l := range leaves {
+		if l == "[1 3]" {
+			t.Errorf("justification cites the removed edge: %v", leaves)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"existdlog/internal/adorn"
+	"existdlog/internal/ast"
+	"existdlog/internal/deletion"
+	"existdlog/internal/engine"
+	"existdlog/internal/uniform"
+	"existdlog/internal/workload"
+	"existdlog/internal/xform"
+)
+
+// E13 is the pipeline ablation: on one workload, the full pipeline is
+// compared against variants with a single phase disabled, attributing the
+// end-to-end win to its parts. The program interleaves every optimization
+// opportunity: an existential recursion (projection), a disconnected
+// guard (component split + cut), and a redundant recursive rule
+// (deletion).
+func E13() (*Experiment, error) {
+	src := `
+query(X) :- a(X,Y), g(W).
+a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+g(W) :- h(W,V).
+?- query(X).
+`
+	orig := mustProg(src)
+
+	type stage struct {
+		name                          string
+		adorn, split, project, delete bool
+	}
+	stages := []stage{
+		{"full", true, true, true, true},
+		{"no-adorn(original)", false, false, false, false},
+		{"no-split", true, false, true, true},
+		{"no-project", true, true, false, true},
+		{"no-delete", true, true, true, false},
+	}
+	var variants []Variant
+	for _, st := range stages {
+		p, err := ablationPipeline(orig, st.adorn, st.split, st.project, st.delete)
+		if err != nil {
+			return nil, fmt.Errorf("E13 %s: %w", st.name, err)
+		}
+		variants = append(variants, Variant{
+			Name:    fmt.Sprintf("%s(%d rules)", st.name, len(p.Rules)),
+			Program: p,
+			Opts:    engine.Options{BooleanCut: true},
+		})
+	}
+	mk := func(n int) Workload {
+		return Workload{fmt.Sprintf("chain-%d", n), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.Chain(db, "p", n)
+			workload.Relation(db, "h", 2, n, n, 61)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E13",
+		Title: "Pipeline ablation: each phase's contribution",
+		Claim: "adornment+projection, the component cut, and deletion each carry weight",
+		Variants: []Variant{
+			variants[1], variants[2], variants[3], variants[4], variants[0],
+		},
+		Workloads: []Workload{mk(128), mk(512)},
+	}, nil
+}
+
+func ablationPipeline(p *ast.Program, adornIt, split, project, del bool) (*ast.Program, error) {
+	cur := p.Clone()
+	var err error
+	if adornIt {
+		if cur, err = adorn.Adorn(cur); err != nil {
+			return nil, err
+		}
+	}
+	if split {
+		if cur, err = xform.SplitComponents(cur); err != nil {
+			return nil, err
+		}
+	}
+	if project {
+		if cur, err = xform.PushProjections(cur); err != nil {
+			return nil, err
+		}
+	}
+	if del {
+		cur, _ = xform.AddCoveringUnitRules(cur)
+		cur, _, err = deletion.DeleteRules(cur, deletion.Options{
+			Mode: deletion.Lemma53, UniformTest: uniform.RuleRedundant})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}

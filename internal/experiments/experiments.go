@@ -1,0 +1,732 @@
+// Package experiments defines the reproduction suite of EXPERIMENTS.md:
+// one experiment per measurable claim of the paper (the paper, a PODS
+// theory paper, has no numeric tables; its worked Examples 1-12 and
+// performance claims define the artifacts — see DESIGN.md §4). Each
+// experiment pairs program variants (original vs. successive
+// optimizations) with workload sweeps and runs them through the harness,
+// producing the tables EXPERIMENTS.md records. bench_test.go and the CLI
+// `existdlog bench` both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"existdlog/internal/adorn"
+	"existdlog/internal/ast"
+	"existdlog/internal/deletion"
+	"existdlog/internal/engine"
+	"existdlog/internal/grammar"
+	"existdlog/internal/harness"
+	"existdlog/internal/magic"
+	"existdlog/internal/parser"
+	"existdlog/internal/uniform"
+	"existdlog/internal/workload"
+	"existdlog/internal/xform"
+)
+
+// Variant is a named program with its evaluation options.
+type Variant struct {
+	Name    string
+	Program *ast.Program
+	Opts    engine.Options
+}
+
+// Workload is a named extensional database constructor.
+type Workload struct {
+	Name  string
+	Build func() *engine.Database
+}
+
+// Experiment is a full table: variants × workloads.
+type Experiment struct {
+	ID        string
+	Title     string
+	Claim     string // the paper claim the shape check verifies
+	Variants  []Variant
+	Workloads []Workload
+	// CheckAnswers verifies all variants agree on the query answer count
+	// per workload (the needed columns are the whole tuple for every
+	// variant program here).
+	CheckAnswers bool
+}
+
+// Run evaluates the full table.
+func (e *Experiment) Run() ([]harness.Row, error) {
+	var rows []harness.Row
+	for _, wl := range e.Workloads {
+		db := wl.Build()
+		var answers = -1
+		for _, v := range e.Variants {
+			row, err := harness.Run(e.ID, wl.Name, v.Name, v.Program, db, v.Opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			if e.CheckAnswers {
+				if answers == -1 {
+					answers = row.Answers
+				} else if answers != row.Answers {
+					return nil, fmt.Errorf("%s/%s: variant %s answers %d, expected %d",
+						e.ID, wl.Name, v.Name, row.Answers, answers)
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
+// All returns the full experiment suite in order.
+func All() ([]*Experiment, error) {
+	ctors := []func() (*Experiment, error){
+		E1, E2, E3, E4, E5, E6, E7, E8, E9, E10, E11, E13,
+	}
+	var out []*Experiment
+	for _, c := range ctors {
+		e, err := c()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func mustProg(src string) *ast.Program { return parser.MustParseProgram(src) }
+
+// pipeline applies the requested subset of the optimization phases.
+func pipeline(p *ast.Program, adornIt, split, project, unitAndDelete bool) (*ast.Program, error) {
+	cur := p.Clone()
+	var err error
+	if adornIt {
+		if cur, err = adorn.Adorn(cur); err != nil {
+			return nil, err
+		}
+	}
+	if split {
+		if cur, err = xform.SplitComponents(cur); err != nil {
+			return nil, err
+		}
+	}
+	if project {
+		if cur, err = xform.PushProjections(cur); err != nil {
+			return nil, err
+		}
+	}
+	if unitAndDelete {
+		cur, _ = xform.AddCoveringUnitRules(cur)
+		cur, _, err = deletion.DeleteRules(cur, deletion.Options{
+			Mode: deletion.Lemma53, UniformTest: uniform.RuleRedundant})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cur, nil
+}
+
+// --- E1: Examples 1/3 — pushing the projection through transitive closure.
+
+const e1Src = `
+query(X) :- a(X,Y).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- query(X).
+`
+
+// E1 isolates the Lemma 3.2 arity reduction: binary TC vs the unary
+// projected recursion (deletion disabled so the recursion itself is
+// measured).
+func E1() (*Experiment, error) {
+	orig := mustProg(e1Src)
+	projected, err := pipeline(orig, true, true, true, false)
+	if err != nil {
+		return nil, err
+	}
+	trimmed, err := pipeline(orig, true, true, true, true)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(name string, build func(db *engine.Database)) Workload {
+		return Workload{name, func() *engine.Database {
+			db := engine.NewDatabase()
+			build(db)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E1",
+		Title: "Examples 1/3: projection pushing makes TC unary",
+		Claim: "arity reduction cuts facts produced and duplicate-elimination cost (§3.2)",
+		Variants: []Variant{
+			{"original(binary)", orig, engine.Options{}},
+			{"projected(unary)", projected, engine.Options{BooleanCut: true}},
+			{"projected+deleted", trimmed, engine.Options{BooleanCut: true}},
+		},
+		Workloads: []Workload{
+			mk("chain-256", func(db *engine.Database) { workload.Chain(db, "p", 256) }),
+			mk("chain-1024", func(db *engine.Database) { workload.Chain(db, "p", 1024) }),
+			mk("cycle-256", func(db *engine.Database) { workload.Cycle(db, "p", 256) }),
+			mk("rand-192x768", func(db *engine.Database) { workload.RandomDigraph(db, "p", 192, 768, 11) }),
+			mk("tree-12", func(db *engine.Database) { workload.BinaryTree(db, "p", 12) }),
+		},
+		CheckAnswers: true,
+	}, nil
+}
+
+// --- E2: Example 2 — boolean subqueries and the runtime cut.
+
+const e2Src = `
+p(X,U) :- q1(X,Y), q2(Y,Z), q3(U,V), q4(V), q5(W).
+q4(X) :- q6(X).
+q4(X) :- q4(Y), q7(Y,X).
+?- p(X,_).
+`
+
+// E2 measures the connected-component split (§3.1): the q3/q4 subquery is
+// disconnected from the head and becomes a boolean; q4 is itself a long
+// recursion, so the paper's cascade ("if q4 does not appear anywhere else
+// in the program, the rule defining it can also be discarded after B2 is
+// shown true") abandons the whole subcomputation the moment one witness
+// exists.
+func E2() (*Experiment, error) {
+	orig := mustProg(e2Src)
+	split, err := pipeline(orig, true, true, true, false)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(n int) Workload {
+		return Workload{fmt.Sprintf("joinload-%d", n), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.Chain(db, "q1", n)
+			workload.Chain(db, "q2", n)
+			workload.RandomDigraph(db, "q3", n, 2*n, 7)
+			db.Add("q6", "0") // one seed; the q7 closure does the rest
+			workload.Chain(db, "q7", n)
+			db.Add("q5", "w")
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E2",
+		Title: "Example 2: existential subqueries as booleans, runtime cut",
+		Claim: "a boolean rule leaves the fixpoint once proven (§3.1)",
+		Variants: []Variant{
+			{"original", orig, engine.Options{}},
+			{"split,no-cut", split, engine.Options{}},
+			{"split,cut", split, engine.Options{BooleanCut: true}},
+		},
+		Workloads: []Workload{mk(32), mk(96), mk(192)},
+	}, nil
+}
+
+// --- E3: Examples 5/6 — uniform query equivalence removes the recursion.
+
+const e3Src = `
+a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,_).
+`
+
+// E3 is the left-linear closure whose existential query collapses to a
+// single non-recursive rule (Example 6): the asymptotic gap grows with
+// input size.
+func E3() (*Experiment, error) {
+	orig := mustProg(e3Src)
+	adorned, err := pipeline(orig, true, true, true, false)
+	if err != nil {
+		return nil, err
+	}
+	trimmed, err := pipeline(orig, true, true, true, true)
+	if err != nil {
+		return nil, err
+	}
+	if len(trimmed.Rules) != 1 {
+		return nil, fmt.Errorf("E3: expected the 1-rule program of Example 6, got\n%s", trimmed)
+	}
+	mk := func(name string, build func(db *engine.Database)) Workload {
+		return Workload{name, func() *engine.Database {
+			db := engine.NewDatabase()
+			build(db)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E3",
+		Title: "Examples 5/6: rule deletion makes the query non-recursive",
+		Claim: "uniform query equivalence deletes rules uniform equivalence cannot (§4-5)",
+		Variants: []Variant{
+			{"original(binary TC)", orig, engine.Options{}},
+			{"adorned+projected", adorned, engine.Options{}},
+			{"trimmed(non-recursive)", trimmed, engine.Options{}},
+		},
+		Workloads: []Workload{
+			mk("chain-256", func(db *engine.Database) { workload.Chain(db, "p", 256) }),
+			mk("chain-1024", func(db *engine.Database) { workload.Chain(db, "p", 1024) }),
+			mk("rand-256x1024", func(db *engine.Database) { workload.RandomDigraph(db, "p", 256, 1024, 17) }),
+			mk("grid-24", func(db *engine.Database) { workload.Grid(db, "p", 24) }),
+		},
+	}, nil
+}
+
+// --- E4: Example 7 — summary-based deletion trims 7 rules to 3.
+
+const e4Src = `
+p@nd(X) :- p@nn(X,Y).
+p@nd(X) :- p1@nn(X,Z), b4(Z).
+p@nd(X) :- b1(X,Y).
+p@nn(X,Y) :- p1@nn(X,Z), b4(Z), b1(Z,Y).
+p@nn(X,Y) :- b5(X,Y).
+p1@nn(X,Z) :- p@nn(X,U), b2(U,W,Z).
+p1@nn(X,Z) :- p@nd(X), b3(U,W,Z).
+?- p@nd(X).
+`
+
+// E4 measures Example 7: Lemma 5.1 with the unit and trivial-unit rules
+// discards the auxiliary recursion through p1.
+func E4() (*Experiment, error) {
+	orig := mustProg(e4Src)
+	trimmed, _, err := deletion.DeleteRules(orig, deletion.Options{Mode: deletion.Lemma51})
+	if err != nil {
+		return nil, err
+	}
+	if len(trimmed.Rules) != 3 {
+		return nil, fmt.Errorf("E4: expected 3 rules, got\n%s", trimmed)
+	}
+	mk := func(n int) Workload {
+		return Workload{fmt.Sprintf("rand-%d", n), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.Relation(db, "b1", 2, n, 2*n, 3)
+			workload.Relation(db, "b2", 3, n, 2*n, 5)
+			workload.Relation(db, "b3", 3, n, 2*n, 7)
+			workload.Relation(db, "b4", 1, n, n, 9)
+			workload.Relation(db, "b5", 2, n, 2*n, 11)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E4",
+		Title: "Example 7: summary deletion, 7 rules to 3",
+		Claim: "Lemma 5.1 discards the auxiliary recursion (§5)",
+		Variants: []Variant{
+			{"original(7 rules)", orig, engine.Options{}},
+			{"trimmed(3 rules)", trimmed, engine.Options{}},
+		},
+		Workloads:    []Workload{mk(32), mk(128), mk(512)},
+		CheckAnswers: true,
+	}, nil
+}
+
+// --- E5: Example 8 — compile-time empty answer.
+
+const e5Src = `
+p@nd(X) :- p@nn(X,Y).
+p@nn(X,Y) :- p1@nnn(X,Z,U), g1(Z,U,Y).
+p@nn(X,Y) :- p1@nnn(X,Z,U), g1(U,Z,Y).
+p1@nnn(X,Z,U) :- p1@nnn(X,V,W), g2(V,W,Z,U).
+p1@nnn(X,Z,U) :- p@nn(X,Y), g2(Y,Y,Z,U).
+?- p@nd(X).
+`
+
+// E5 measures Example 8: the optimizer empties the program, so the
+// optimized variant performs zero joins where the original runs a full
+// (fruitless) fixpoint.
+func E5() (*Experiment, error) {
+	orig := mustProg(e5Src)
+	trimmed, _, err := deletion.DeleteRules(orig, deletion.Options{Mode: deletion.Lemma51})
+	if err != nil {
+		return nil, err
+	}
+	if len(trimmed.Rules) != 0 {
+		return nil, fmt.Errorf("E5: expected the empty program, got\n%s", trimmed)
+	}
+	mk := func(n int) Workload {
+		return Workload{fmt.Sprintf("rand-%d", n), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.Relation(db, "g1", 3, n, 4*n, 19)
+			workload.Relation(db, "g2", 4, n, 4*n, 23)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E5",
+		Title: "Example 8: the answer is proved empty at compile time",
+		Claim: "productivity cleanup cascades until no rule defines the query (§5)",
+		Variants: []Variant{
+			{"original", orig, engine.Options{}},
+			{"trimmed(empty)", trimmed, engine.Options{}},
+		},
+		Workloads:    []Workload{mk(64), mk(256)},
+		CheckAnswers: true,
+	}, nil
+}
+
+// --- E6: Example 10 — Lemma 5.3 beats Lemma 5.1.
+
+const e6Src = `
+p@nd(X,Y) :- p@nn(X,Y).
+p@nd(X,Y) :- p@nn(Y,X).
+p@nn(X,Y) :- q@nn(X,Y).
+p@nn(X,Y) :- q@nn(Y,X).
+q@nn(X,Y) :- p@nn(X,Y).
+p@nn(X,Y) :- b(X,Y).
+?- p@nd(X,_).
+`
+
+// E6 measures Example 10: the symmetric q-cycle that only the closure of
+// unit projections (Lemma 5.3) removes.
+func E6() (*Experiment, error) {
+	orig := mustProg(e6Src)
+	l51, _, err := deletion.DeleteRules(orig, deletion.Options{Mode: deletion.Lemma51})
+	if err != nil {
+		return nil, err
+	}
+	l53, _, err := deletion.DeleteRules(orig, deletion.Options{Mode: deletion.Lemma53})
+	if err != nil {
+		return nil, err
+	}
+	if len(l53.Rules) >= len(l51.Rules) {
+		return nil, fmt.Errorf("E6: Lemma 5.3 should trim more than 5.1 (%d vs %d)",
+			len(l53.Rules), len(l51.Rules))
+	}
+	mk := func(n int) Workload {
+		return Workload{fmt.Sprintf("rand-%d", n), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.Relation(db, "b", 2, n, 3*n, 29)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E6",
+		Title: "Example 10: Lemma 5.3 deletes what Lemma 5.1 cannot",
+		Claim: "composing unit rules justifies more deletions (§5)",
+		Variants: []Variant{
+			{"original(6 rules)", orig, engine.Options{}},
+			{fmt.Sprintf("lemma5.1(%d rules)", len(l51.Rules)), l51, engine.Options{}},
+			{fmt.Sprintf("lemma5.3(%d rules)", len(l53.Rules)), l53, engine.Options{}},
+		},
+		Workloads:    []Workload{mk(64), mk(256)},
+		CheckAnswers: true,
+	}, nil
+}
+
+// --- E7: Examples 9/11 — the auxiliary-predicate rewrite exposes a
+// deletion.
+
+const e7Src = `
+p@nd(X) :- q@nnnn(X,Y,Z,U).
+q@nnnn(X,Y,Z,U) :- t@nn(X,Y), g3(Y,Z,U).
+p@nd(X) :- s@nnn(X,Z,U), g1(Z,U,Y).
+s@nnn(X,Z,U) :- t@nn(X,W), g2(W,Z,U).
+s@nnn(X,Z,U) :- q@nnnn(X,V,Z,U), g4(U,W).
+t@nn(X,Y) :- b(X,Y).
+?- p@nd(X).
+`
+
+// E7 measures Example 11: after the (guessed) rewrite through q, Lemma 5.1
+// deletes the subsumed rule.
+func E7() (*Experiment, error) {
+	orig := mustProg(e7Src)
+	trimmed, _, err := deletion.DeleteRules(orig, deletion.Options{Mode: deletion.Lemma51})
+	if err != nil {
+		return nil, err
+	}
+	if len(trimmed.Rules) >= len(orig.Rules) {
+		return nil, fmt.Errorf("E7: expected a deletion, got\n%s", trimmed)
+	}
+	mk := func(n int) Workload {
+		return Workload{fmt.Sprintf("rand-%d", n), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.Relation(db, "b", 2, n, 2*n, 31)
+			workload.Relation(db, "g1", 3, n, 2*n, 37)
+			workload.Relation(db, "g2", 3, n, 2*n, 41)
+			workload.Relation(db, "g3", 3, n, 2*n, 43)
+			workload.Relation(db, "g4", 2, n, 2*n, 47)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E7",
+		Title: "Examples 9/11: rewriting exposes a subsumed rule to Lemma 5.1",
+		Claim: "non-unit subsumption becomes unit after introducing q (§5, §6)",
+		Variants: []Variant{
+			{"rewritten(6 rules)", orig, engine.Options{}},
+			{fmt.Sprintf("trimmed(%d rules)", len(trimmed.Rules)), trimmed, engine.Options{}},
+		},
+		Workloads:    []Workload{mk(32), mk(128)},
+		CheckAnswers: true,
+	}, nil
+}
+
+// --- E8: Example 12 — invariant-argument reduction.
+
+const e8Src = `
+query(X,Y) :- p(X,Y,Z).
+p(X,Y,Z) :- up(X,X1), p(X1,Y1,Z), dn(Y1,Y), c(Z).
+p(X,Y,Z) :- b(X,Y,Z).
+?- query(X,Y).
+`
+
+// E8 measures Example 12: the ternary recursion with an invariant
+// existential check becomes binary.
+func E8() (*Experiment, error) {
+	orig := mustProg(e8Src)
+	adorned, err := adorn.Adorn(orig)
+	if err != nil {
+		return nil, err
+	}
+	reds := xform.FindInvariantReductions(adorned)
+	if len(reds) != 1 {
+		return nil, fmt.Errorf("E8: expected one invariant reduction, got %v", reds)
+	}
+	reduced, err := xform.ReduceInvariantArgument(adorned, reds[0].Base, reds[0].Pos)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(depth, checks int) Workload {
+		return Workload{fmt.Sprintf("updown-%d-%d", depth, checks), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.Chain(db, "up", depth)
+			// dn mirrors up.
+			for i := 0; i < depth; i++ {
+				db.Add("dn", fmt.Sprint(i+1), fmt.Sprint(i))
+			}
+			for k := 0; k < checks; k++ {
+				db.Add("b", fmt.Sprint(depth), fmt.Sprint(depth), fmt.Sprintf("z%d", k))
+				if k%2 == 0 {
+					db.Add("c", fmt.Sprintf("z%d", k))
+				}
+			}
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E8",
+		Title: "Example 12: invariant existential argument reduced, arity 3 to 2",
+		Claim: "a transformation beyond projection pushing reduces the recursive arity (§6)",
+		Variants: []Variant{
+			{"adorned(ternary)", adorned, engine.Options{}},
+			{"reduced(binary)", reduced, engine.Options{}},
+		},
+		Workloads: []Workload{mk(64, 16), mk(256, 64), mk(1024, 64)},
+	}, nil
+}
+
+// --- E9: magic sets / counting compose with projection pushing.
+
+// E9 demonstrates the §6 orthogonality claim on a reachability query with
+// a bound source over a forest: projection linearizes, magic localizes,
+// and they compose; counting is the third rewriting.
+func E9() (*Experiment, error) {
+	src := `
+query(X) :- a(X,Y).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- query(c0x5).
+`
+	orig := mustProg(src)
+	projected, err := pipeline(orig, true, true, true, false)
+	if err != nil {
+		return nil, err
+	}
+	magicOnly, err := magic.Rewrite(orig)
+	if err != nil {
+		return nil, err
+	}
+	both, err := magic.Rewrite(projected)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(chains, n int) Workload {
+		return Workload{fmt.Sprintf("forest-%dx%d", chains, n), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.ChainForest(db, "p", chains, n)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E9",
+		Title: "Magic sets / projection composition (orthogonality, §6)",
+		Claim: "selection pushing and projection pushing compose multiplicatively",
+		Variants: []Variant{
+			{"original", orig, engine.Options{}},
+			{"projected", projected, engine.Options{BooleanCut: true}},
+			{"magic", magicOnly, engine.Options{}},
+			{"projected+magic", both, engine.Options{BooleanCut: true}},
+		},
+		Workloads:    []Workload{mk(8, 64), mk(16, 128), mk(32, 256)},
+		CheckAnswers: true,
+	}, nil
+}
+
+// --- E10: Theorem 3.3 — regular chain program vs constructed monadic
+// program.
+
+func E10() (*Experiment, error) {
+	src := `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`
+	binary := mustProg(src)
+	mp, err := grammar.MonadicFromChain(binary, "dn")
+	if err != nil {
+		return nil, err
+	}
+	mk := func(name string, build func(db *engine.Database)) Workload {
+		return Workload{name, func() *engine.Database {
+			db := engine.NewDatabase()
+			build(db)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E10",
+		Title: "Theorem 3.3: regular binary chain program vs monadic equivalent",
+		Claim: "a regular language admits a monadic chain program for the existential query",
+		Variants: []Variant{
+			{"binary-chain", binary, engine.Options{}},
+			{"monadic", mp.Program, engine.Options{}},
+		},
+		Workloads: []Workload{
+			mk("chain-512", func(db *engine.Database) { workload.Chain(db, "p", 512) }),
+			mk("rand-256x1024", func(db *engine.Database) { workload.RandomDigraph(db, "p", 256, 1024, 53) }),
+			mk("grid-24", func(db *engine.Database) { workload.Grid(db, "p", 24) }),
+		},
+	}, nil
+}
+
+// --- E11: counting vs magic vs plain on an acyclic same-generation
+// workload.
+
+func E11() (*Experiment, error) {
+	src := `
+sg(X,Y) :- up(X,U), sg(U,V), dn(V,Y).
+sg(X,Y) :- flat(X,Y).
+?- sg(t0a0, Y).
+`
+	orig := mustProg(src)
+	magicP, err := magic.Rewrite(orig)
+	if err != nil {
+		return nil, err
+	}
+	suppP, err := magic.RewriteSupplementary(orig)
+	if err != nil {
+		return nil, err
+	}
+	counting, err := magic.CountingRewrite(orig)
+	if err != nil {
+		return nil, err
+	}
+	mk := func(depth, towers int) Workload {
+		return Workload{fmt.Sprintf("towers-%dx%d", towers, depth), func() *engine.Database {
+			db := engine.NewDatabase()
+			workload.SameGenTowers(db, "up", "dn", "flat", depth, towers)
+			return db
+		}}
+	}
+	return &Experiment{
+		ID:    "E11",
+		Title: "Counting vs magic sets on bound same-generation (§6 orthogonal rewritings)",
+		Claim: "both selection-pushing strategies beat raw bottom-up on selective queries",
+		Variants: []Variant{
+			{"original", orig, engine.Options{}},
+			{"magic", magicP, engine.Options{}},
+			{"magic-supplementary", suppP, engine.Options{}},
+			{"counting", counting, engine.Options{}},
+		},
+		Workloads: []Workload{mk(16, 8), mk(32, 16), mk(64, 16)},
+	}, nil
+}
+
+// CapabilityRow records, for one example program and one deletion test,
+// how many rules survive — the E12 capability matrix contrasting Sagiv's
+// uniform-equivalence test with Lemmas 5.1 and 5.3.
+type CapabilityRow struct {
+	Example string
+	Rules   int
+	Sagiv   int // rules remaining under the uniform-equivalence test only
+	L51     int // rules remaining under Lemma 5.1 (+cleanup)
+	L53     int // rules remaining under Lemma 5.3 (+cleanup)
+	Full    int // rules remaining under Lemma 5.3 + Sagiv (+cleanup)
+}
+
+// CapabilityMatrix runs every deletion strategy over the example programs
+// of Sections 3-5 (E12 of EXPERIMENTS.md).
+func CapabilityMatrix() ([]CapabilityRow, error) {
+	exmap := map[string]string{
+		"Ex3/4 (projected TC)": `
+a@nd(X) :- p(X,Z), a@nd(Z).
+a@nd(X) :- p(X,Z).
+?- a@nd(X).
+`,
+		"Ex5/6 (two versions)": `
+a@nd(X) :- a@nn(X,Z), p(Z,Y).
+a@nd(X) :- p(X,Y).
+a@nn(X,Y) :- a@nn(X,Z), p(Z,Y).
+a@nn(X,Y) :- p(X,Y).
+a@nd(U1) :- a@nn(U1,U2).
+?- a@nd(X).
+`,
+		"Ex7 (aux recursion)": e4Src,
+		"Ex8 (empty answer)":  e5Src,
+		"Ex10 (symmetric)":    e6Src,
+		"Ex11 (rewritten)":    e7Src,
+	}
+	names := make([]string, 0, len(exmap))
+	for k := range exmap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var rows []CapabilityRow
+	for _, name := range names {
+		p := mustProg(exmap[name])
+		row := CapabilityRow{Example: name, Rules: len(p.Rules)}
+		// Sagiv only: iterate RuleRedundant to fixpoint, no summaries, no
+		// cleanup (cleanup is query-equivalence reasoning).
+		sg := p.Clone()
+		for changed := true; changed; {
+			changed = false
+			for ri := 0; ri < len(sg.Rules); ri++ {
+				ok, err := uniform.RuleRedundant(sg, ri)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					sg.Rules = append(sg.Rules[:ri:ri], sg.Rules[ri+1:]...)
+					changed = true
+					ri--
+				}
+			}
+		}
+		row.Sagiv = len(sg.Rules)
+		l51, _, err := deletion.DeleteRules(p, deletion.Options{Mode: deletion.Lemma51})
+		if err != nil {
+			return nil, err
+		}
+		row.L51 = len(l51.Rules)
+		l53, _, err := deletion.DeleteRules(p, deletion.Options{Mode: deletion.Lemma53})
+		if err != nil {
+			return nil, err
+		}
+		row.L53 = len(l53.Rules)
+		full, _, err := deletion.DeleteRules(p, deletion.Options{
+			Mode: deletion.Lemma53, UniformTest: uniform.RuleRedundant})
+		if err != nil {
+			return nil, err
+		}
+		row.Full = len(full.Rules)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatCapabilityMatrix renders the E12 table.
+func FormatCapabilityMatrix(rows []CapabilityRow) string {
+	out := fmt.Sprintf("%-22s %6s %6s %6s %6s %6s\n",
+		"example", "rules", "sagiv", "L5.1", "L5.3", "full")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-22s %6d %6d %6d %6d %6d\n",
+			r.Example, r.Rules, r.Sagiv, r.L51, r.L53, r.Full)
+	}
+	return out
+}

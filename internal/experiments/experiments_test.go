@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must construct: the constructors embed shape
+// assertions (e.g. E3 demands the 1-rule Example 6 endpoint).
+func TestAllConstruct(t *testing.T) {
+	exps, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 12 {
+		t.Errorf("expected 12 experiments, got %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Claim == "" {
+			t.Errorf("%s: missing title or claim", e.ID)
+		}
+		if len(e.Variants) < 2 {
+			t.Errorf("%s: needs at least two variants", e.ID)
+		}
+		if len(e.Workloads) == 0 {
+			t.Errorf("%s: needs workloads", e.ID)
+		}
+	}
+}
+
+// Run the small workload of each experiment and verify the headline shape
+// claim: the last (most optimized) variant derives at most as many facts
+// as the first, and answer checks hold where declared.
+func TestExperimentShapes(t *testing.T) {
+	exps, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			small := *e
+			small.Workloads = e.Workloads[:1]
+			rows, err := small.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != len(e.Variants) {
+				t.Fatalf("rows = %d", len(rows))
+			}
+			// Compare derivation work, not distinct facts: adornment can
+			// legitimately keep several projected versions of a predicate
+			// (Example 5), so fact counts are not monotone, but the
+			// optimized variant must never do more join work.
+			first, last := rows[0], rows[len(rows)-1]
+			if last.Derivs > first.Derivs {
+				t.Errorf("%s: optimized variant performed more derivations (%d > %d)",
+					e.ID, last.Derivs, first.Derivs)
+			}
+		})
+	}
+}
+
+func TestCapabilityMatrix(t *testing.T) {
+	rows, err := CapabilityMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]CapabilityRow{}
+	for _, r := range rows {
+		byName[r.Example] = r
+	}
+	// The qualitative claims of the paper, as a matrix:
+	// Example 5 extended with the unit rule collapses to 1 rule under the
+	// summary tests; Sagiv alone cannot do that.
+	ex56 := byName["Ex5/6 (two versions)"]
+	if ex56.L53 != 1 || ex56.Sagiv <= ex56.L53 {
+		t.Errorf("Ex5/6 row: %+v", ex56)
+	}
+	// Example 7: 7 rules -> 3 under Lemma 5.1; Sagiv deletes nothing.
+	ex7 := byName["Ex7 (aux recursion)"]
+	if ex7.L51 != 3 || ex7.Sagiv != 7 {
+		t.Errorf("Ex7 row: %+v", ex7)
+	}
+	// Example 8: emptied by the summary test + cleanup.
+	ex8 := byName["Ex8 (empty answer)"]
+	if ex8.L51 != 0 {
+		t.Errorf("Ex8 row: %+v", ex8)
+	}
+	// Example 10: Lemma 5.3 strictly beats Lemma 5.1.
+	ex10 := byName["Ex10 (symmetric)"]
+	if ex10.L53 >= ex10.L51 {
+		t.Errorf("Ex10 row: %+v", ex10)
+	}
+	// Example 3/4: only the uniform-equivalence test removes the
+	// recursion (the summary tests alone cannot).
+	ex34 := byName["Ex3/4 (projected TC)"]
+	if ex34.Full != 1 || ex34.L53 != 2 {
+		t.Errorf("Ex3/4 row: %+v", ex34)
+	}
+	out := FormatCapabilityMatrix(rows)
+	if !strings.Contains(out, "L5.3") || !strings.Contains(out, "Ex7") {
+		t.Errorf("matrix format:\n%s", out)
+	}
+}

@@ -1,0 +1,147 @@
+package grammar
+
+import (
+	"fmt"
+	"sort"
+
+	"existdlog/internal/engine"
+)
+
+// CFLReach computes context-free-language reachability: for every
+// nonterminal A of g and nodes x, y of the edge-labeled graph stored in
+// db (one binary relation per terminal), whether some path x→y spells a
+// string of L(g, A). By the grammar/chain-program correspondence of
+// Section 1.1, this is exactly bottom-up evaluation of the chain program —
+// an independent algorithm the tests use to cross-check the engine
+// (Lemma 4.1 in executable form).
+//
+// The result maps each nonterminal to its set of (x,y) pairs, with node
+// names taken from db's interner.
+func CFLReach(g *Grammar, db *engine.Database) (map[string][][2]string, error) {
+	// Normalize to binary productions: A → s (single symbol) or
+	// A → s1 s2 ... becomes a chain of fresh nonterminals.
+	type binProd struct {
+		lhs, a, b string // b == "" for unit productions A → a
+	}
+	var prods []binProd
+	fresh := 0
+	nts := make([]string, 0, len(g.Productions))
+	for nt := range g.Productions {
+		nts = append(nts, nt)
+	}
+	sort.Strings(nts)
+	for _, nt := range nts {
+		for _, rhs := range g.Productions[nt] {
+			switch {
+			case len(rhs) == 0:
+				return nil, fmt.Errorf("grammar: empty production for %s", nt)
+			case len(rhs) == 1:
+				prods = append(prods, binProd{nt, rhs[0], ""})
+			default:
+				cur := nt
+				for i := 0; i < len(rhs)-2; i++ {
+					fresh++
+					aux := fmt.Sprintf("%s#%d", nt, fresh)
+					prods = append(prods, binProd{cur, rhs[i], aux})
+					cur = aux
+				}
+				prods = append(prods, binProd{cur, rhs[len(rhs)-2], rhs[len(rhs)-1]})
+			}
+		}
+	}
+
+	type edge struct {
+		label string
+		x, y  int32
+	}
+	seen := map[edge]bool{}
+	var queue []edge
+	add := func(e edge) {
+		if !seen[e] {
+			seen[e] = true
+			queue = append(queue, e)
+		}
+	}
+	// Indexes for the worklist joins.
+	bySrc := map[string]map[int32][]int32{} // label -> x -> ys
+	byDst := map[string]map[int32][]int32{} // label -> y -> xs
+	record := func(e edge) {
+		m := bySrc[e.label]
+		if m == nil {
+			m = map[int32][]int32{}
+			bySrc[e.label] = m
+		}
+		m[e.x] = append(m[e.x], e.y)
+		m2 := byDst[e.label]
+		if m2 == nil {
+			m2 = map[int32][]int32{}
+			byDst[e.label] = m2
+		}
+		m2[e.y] = append(m2[e.y], e.x)
+	}
+	// Production indexes.
+	unitBy := map[string][]string{}   // a -> lhs's with A → a
+	leftBy := map[string][]binProd{}  // a -> productions A → a b
+	rightBy := map[string][]binProd{} // b -> productions A → a b
+	for _, p := range prods {
+		if p.b == "" {
+			unitBy[p.a] = append(unitBy[p.a], p.lhs)
+		} else {
+			leftBy[p.a] = append(leftBy[p.a], p)
+			rightBy[p.b] = append(rightBy[p.b], p)
+		}
+	}
+
+	// Seed with the terminal relations.
+	for t := range g.Terminals {
+		rel, ok := db.Lookup(t)
+		if !ok {
+			continue
+		}
+		if rel.Arity() != 2 {
+			return nil, fmt.Errorf("grammar: terminal relation %s is not binary", t)
+		}
+		for _, tp := range rel.Tuples() {
+			add(edge{t, tp[0], tp[1]})
+		}
+	}
+
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		record(e)
+		for _, lhs := range unitBy[e.label] {
+			add(edge{lhs, e.x, e.y})
+		}
+		for _, p := range leftBy[e.label] {
+			// e is the left part: need (p.b, e.y, z).
+			for _, z := range bySrc[p.b][e.y] {
+				add(edge{p.lhs, e.x, z})
+			}
+		}
+		for _, p := range rightBy[e.label] {
+			// e is the right part: need (p.a, w, e.x).
+			for _, w := range byDst[p.a][e.x] {
+				add(edge{p.lhs, w, e.y})
+			}
+		}
+	}
+
+	out := map[string][][2]string{}
+	for e := range seen {
+		if _, isNT := g.Productions[e.label]; !isNT {
+			continue
+		}
+		out[e.label] = append(out[e.label],
+			[2]string{db.Syms.Name(e.x), db.Syms.Name(e.y)})
+	}
+	for _, pairs := range out {
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustGrammar(t *testing.T, src string) *Grammar {
+	t.Helper()
+	g, err := FromChainProgram(mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestDeterminizeAndMinimize(t *testing.T) {
+	// L = (pq)^n p.
+	g := mustGrammar(t, `
+a(X,Y) :- p(X,Z), q(Z,W), a(W,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	nfa, err := NFAFromRightLinear(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfa := Minimize(Determinize(nfa, []string{"p", "q"}))
+	// The minimal DFA for (pq)*p has 2 live states.
+	if len(dfa.Accept) != 2 {
+		t.Errorf("minimal DFA has %d states, want 2", len(dfa.Accept))
+	}
+	for _, s := range g.Language(7) {
+		if !dfa.Accepts(s) {
+			t.Errorf("DFA rejects %v ∈ L(G)", s)
+		}
+	}
+	if dfa.Accepts([]string{"p", "q"}) || dfa.Accepts(nil) || dfa.Accepts([]string{"q"}) {
+		t.Error("DFA accepts strings outside L(G)")
+	}
+}
+
+func TestEquivalentRegularPositive(t *testing.T) {
+	// Both generate p+ with different rule shapes.
+	g1 := mustGrammar(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	g2 := mustGrammar(t, `
+a(X,Y) :- p(X,Z), p(Z,W), a(W,Y).
+a(X,Y) :- p(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	ok, err := EquivalentRegular(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("both grammars generate p+; they must be equivalent")
+	}
+}
+
+func TestEquivalentRegularNegative(t *testing.T) {
+	g1 := mustGrammar(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`) // p+
+	g2 := mustGrammar(t, `
+a(X,Y) :- p(X,Z), p(Z,W), a(W,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`) // p, ppp, ppppp, ... (odd lengths)
+	ok, err := EquivalentRegular(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("p+ differs from odd-length p strings")
+	}
+}
+
+func TestEquivalentRegularLeftLinear(t *testing.T) {
+	g1 := mustGrammar(t, `
+a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	g2 := mustGrammar(t, `
+a(X,Y) :- a(X,Z), p(Z,W), p(W,Y).
+a(X,Y) :- p(X,Y).
+a(X,Y) :- p(X,Z), p(Z,Y).
+?- a(X,Y).
+`)
+	ok, err := EquivalentRegular(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("both left-linear grammars generate p+")
+	}
+}
+
+func TestEquivalentRegularMixedRejected(t *testing.T) {
+	right := mustGrammar(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- q(X,Y).
+?- a(X,Y).
+`)
+	left := mustGrammar(t, `
+a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- q(X,Y).
+?- a(X,Y).
+`)
+	if _, err := EquivalentRegular(right, left); err == nil {
+		t.Error("mixed linearity must be rejected")
+	}
+}
+
+// ChainQueryEquivalent is the decidable fragment of Lemma 4.1(2): verify
+// its verdicts against evaluation on random graphs.
+func TestChainQueryEquivalentAgainstEvaluation(t *testing.T) {
+	p1 := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	p2 := mustParse(t, `
+a(X,Y) :- p(X,Z), p(Z,W), a(W,Y).
+a(X,Y) :- p(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	ok, err := ChainQueryEquivalent(p1, p2)
+	if err != nil || !ok {
+		t.Fatalf("expected equivalence: %v %v", ok, err)
+	}
+}
+
+// Property: exact regular equivalence agrees with bounded language
+// comparison on random small right-linear grammars (grammar sizes keep
+// the distinguishing-string length under the bound).
+func TestEquivalentRegularMatchesBoundedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	randomRightLinear := func() *Grammar {
+		nts := []string{"a", "b"}
+		ts := []string{"p", "q"}
+		g := &Grammar{Start: "a", Productions: map[string][][]string{},
+			Terminals: map[string]bool{"p": true, "q": true}}
+		for _, nt := range nts {
+			n := 1 + rng.Intn(2)
+			for i := 0; i < n; i++ {
+				var rhs []string
+				for k := 0; k < 1+rng.Intn(2); k++ {
+					rhs = append(rhs, ts[rng.Intn(2)])
+				}
+				if rng.Intn(2) == 0 {
+					rhs = append(rhs, nts[rng.Intn(2)])
+				}
+				g.Productions[nt] = append(g.Productions[nt], rhs)
+			}
+		}
+		return g
+	}
+	for trial := 0; trial < 60; trial++ {
+		g1, g2 := randomRightLinear(), randomRightLinear()
+		exact, err := EquivalentRegular(g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounded := EqualUpTo(g1, g2, 12)
+		if exact != bounded {
+			t.Fatalf("trial %d: exact=%v bounded=%v\nG1: %v\nG2: %v\nL1=%v\nL2=%v",
+				trial, exact, bounded, g1.Productions, g2.Productions,
+				g1.Language(12), g2.Language(12))
+		}
+	}
+}
+
+func TestMinimizeEmptyLanguage(t *testing.T) {
+	// A grammar whose recursion never bottoms out: empty language.
+	g := &Grammar{Start: "a",
+		Productions: map[string][][]string{"a": {{"p", "a"}}},
+		Terminals:   map[string]bool{"p": true}}
+	nfa, err := NFAFromRightLinear(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfa := Minimize(Determinize(nfa, []string{"p"}))
+	if dfa.Accepts([]string{"p"}) || dfa.Accepts(nil) {
+		t.Error("empty language must accept nothing")
+	}
+	// Two empty languages are equivalent.
+	ok, err := EquivalentRegular(g, g)
+	if err != nil || !ok {
+		t.Errorf("empty == empty: %v %v", ok, err)
+	}
+}
+
+func TestEqualDFAWithDifferentAlphabets(t *testing.T) {
+	g1 := mustGrammar(t, `
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	g2 := mustGrammar(t, `
+a(X,Y) :- q(X,Y).
+?- a(X,Y).
+`)
+	ok, err := EquivalentRegular(g1, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("L={p} and L={q} must differ")
+	}
+}

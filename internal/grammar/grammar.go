@@ -1,0 +1,324 @@
+// Package grammar implements the chain-program / context-free-grammar
+// correspondence of the paper (Sections 1.1, 3.2 and 4):
+//
+//   - extraction of the CFG of a binary chain program (drop the arguments;
+//     derived predicates are nonterminals, base predicates terminals);
+//   - bounded enumeration of L(G) and of the extended language Lᵉˣ(G)
+//     (sentential forms), the objects Lemma 4.1 relates to the four
+//     notions of program equivalence;
+//   - a CFL-reachability evaluator, an independent implementation of chain
+//     program semantics used to cross-check the engine;
+//   - the constructive half of Theorem 3.3: a *regular* (left- or
+//     right-linear) chain grammar yields an equivalent *monadic* chain
+//     program for an existential query p@dn or p@nd.
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"existdlog/internal/ast"
+)
+
+// Grammar is a context-free grammar whose symbols are predicate names.
+type Grammar struct {
+	Start       string
+	Productions map[string][][]string
+	// Terminals are the base predicate names.
+	Terminals map[string]bool
+}
+
+// NonTerminal reports whether sym has productions.
+func (g *Grammar) NonTerminal(sym string) bool {
+	_, ok := g.Productions[sym]
+	return ok
+}
+
+// IsChainProgram reports whether every rule of p is a binary chain rule
+//
+//	p(X,Y) :- q1(X,Z1), q2(Z1,Z2), ..., qn(Zn-1,Y)
+//
+// with distinct chain variables, as defined in Section 1.1 of the paper.
+func IsChainProgram(p *ast.Program) error {
+	for i, r := range p.Rules {
+		if err := chainRule(r); err != nil {
+			return fmt.Errorf("rule %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+func chainRule(r ast.Rule) error {
+	if r.Head.Arity() != 2 {
+		return fmt.Errorf("head %s is not binary", r.Head)
+	}
+	if len(r.Body) == 0 {
+		return fmt.Errorf("empty body")
+	}
+	x, y := r.Head.Args[0], r.Head.Args[1]
+	if x.Kind != ast.Variable || y.Kind != ast.Variable || x == y {
+		return fmt.Errorf("head %s must have two distinct variables", r.Head)
+	}
+	seen := map[string]bool{x.Name: true}
+	cur := x
+	for i, b := range r.Body {
+		if b.Arity() != 2 {
+			return fmt.Errorf("literal %s is not binary", b)
+		}
+		if b.Args[0] != cur {
+			return fmt.Errorf("literal %s breaks the chain (expected first argument %s)", b, cur)
+		}
+		next := b.Args[1]
+		if next.Kind != ast.Variable {
+			return fmt.Errorf("literal %s: chain positions must be variables", b)
+		}
+		if i == len(r.Body)-1 {
+			if next != y {
+				return fmt.Errorf("chain does not end in the head's second variable")
+			}
+		} else if seen[next.Name] {
+			return fmt.Errorf("chain variable %s repeated", next.Name)
+		}
+		seen[next.Name] = true
+		cur = next
+	}
+	return nil
+}
+
+// FromChainProgram extracts the grammar of a binary chain program: the
+// query predicate is the start symbol, derived predicates the
+// nonterminals, base predicates the terminals.
+func FromChainProgram(p *ast.Program) (*Grammar, error) {
+	if err := IsChainProgram(p); err != nil {
+		return nil, fmt.Errorf("grammar: not a chain program: %w", err)
+	}
+	if p.Query.Pred == "" {
+		return nil, fmt.Errorf("grammar: program has no query goal")
+	}
+	g := &Grammar{
+		Start:       p.Query.Key(),
+		Productions: make(map[string][][]string),
+		Terminals:   make(map[string]bool),
+	}
+	for _, r := range p.Rules {
+		rhs := make([]string, len(r.Body))
+		for i, b := range r.Body {
+			rhs[i] = b.Key()
+			if !p.Derived[b.Key()] {
+				g.Terminals[b.Key()] = true
+			}
+		}
+		g.Productions[r.Head.Key()] = append(g.Productions[r.Head.Key()], rhs)
+	}
+	if !g.NonTerminal(g.Start) {
+		return nil, fmt.Errorf("grammar: query predicate %s has no rules", g.Start)
+	}
+	return g, nil
+}
+
+// ToChainProgram is the inverse embedding: each production becomes a chain
+// rule, with the start symbol as the query predicate.
+func (g *Grammar) ToChainProgram() *ast.Program {
+	var rules []ast.Rule
+	nts := make([]string, 0, len(g.Productions))
+	for nt := range g.Productions {
+		nts = append(nts, nt)
+	}
+	sort.Strings(nts)
+	for _, nt := range nts {
+		for _, rhs := range g.Productions[nt] {
+			body := make([]ast.Atom, len(rhs))
+			for i, sym := range rhs {
+				from := ast.V(fmt.Sprintf("Z%d", i))
+				if i == 0 {
+					from = ast.V("X")
+				}
+				to := ast.V(fmt.Sprintf("Z%d", i+1))
+				if i == len(rhs)-1 {
+					to = ast.V("Y")
+				}
+				body[i] = ast.NewAtom(sym, from, to)
+			}
+			rules = append(rules, ast.NewRule(ast.NewAtom(nt, ast.V("X"), ast.V("Y")), body...))
+		}
+	}
+	return ast.NewProgram(ast.NewAtom(g.Start, ast.V("X"), ast.V("Y")), rules...)
+}
+
+// Language enumerates L(G, start): all terminal strings of length at most
+// maxLen derivable from the start symbol, sorted. Strings are returned as
+// slices of terminal names.
+func (g *Grammar) Language(maxLen int) [][]string {
+	return g.LanguageFrom(g.Start, maxLen)
+}
+
+// LanguageFrom enumerates L(G, sym) up to maxLen. The table of per-length
+// string sets is grown to a fixpoint, which handles unit-production cycles
+// (A→B, B→A) that would defeat naive memoization.
+func (g *Grammar) LanguageFrom(sym string, maxLen int) [][]string {
+	table := make(map[string][]map[string][]string) // nonterminal -> per-length sets
+	for nt := range g.Productions {
+		table[nt] = make([]map[string][]string, maxLen+1)
+		for l := 0; l <= maxLen; l++ {
+			table[nt][l] = map[string][]string{}
+		}
+	}
+	lookup := func(s string, l int) [][]string {
+		if sets, ok := table[s]; ok {
+			out := make([][]string, 0, len(sets[l]))
+			for _, v := range sets[l] {
+				out = append(out, v)
+			}
+			return out
+		}
+		if l == 1 {
+			return [][]string{{s}} // terminal
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for nt, prods := range g.Productions {
+			for _, rhs := range prods {
+				for l := len(rhs); l <= maxLen; l++ {
+					for _, s := range expand(rhs, l, lookup) {
+						k := strings.Join(s, "\x00")
+						if _, ok := table[nt][l][k]; !ok {
+							table[nt][l][k] = s
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	set := map[string][]string{}
+	if sets, ok := table[sym]; ok {
+		for l := 1; l <= maxLen; l++ {
+			for k, v := range sets[l] {
+				set[k] = v
+			}
+		}
+	} else if maxLen >= 1 {
+		set[sym] = []string{sym} // terminal start symbol
+	}
+	return sortedStrings(set)
+}
+
+// expand generates all terminal strings of total length exactly l from the
+// symbol sequence rhs.
+func expand(rhs []string, l int, gen func(string, int) [][]string) [][]string {
+	if len(rhs) == 0 {
+		if l == 0 {
+			return [][]string{{}}
+		}
+		return nil
+	}
+	var out [][]string
+	head, rest := rhs[0], rhs[1:]
+	// Each symbol derives at least one terminal: leave room for the rest.
+	for hl := 1; hl <= l-len(rest); hl++ {
+		hs := gen(head, hl)
+		if len(hs) == 0 {
+			continue
+		}
+		ts := expand(rest, l-hl, gen)
+		for _, h := range hs {
+			for _, t := range ts {
+				s := make([]string, 0, l)
+				s = append(s, h...)
+				s = append(s, t...)
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// ExtendedLanguage enumerates Lᵉˣ(G, start): all sentential forms (strings
+// over terminals AND nonterminals) of length at most maxLen derivable from
+// the start symbol, including the start itself. This is the object
+// Lemma 4.1 ties to uniform (query) equivalence.
+func (g *Grammar) ExtendedLanguage(maxLen int) [][]string {
+	return g.ExtendedLanguageFrom(g.Start, maxLen)
+}
+
+// ExtendedLanguageFrom enumerates Lᵉˣ(G, sym) up to maxLen.
+func (g *Grammar) ExtendedLanguageFrom(sym string, maxLen int) [][]string {
+	set := map[string][]string{}
+	var queue [][]string
+	push := func(form []string) {
+		if len(form) > maxLen {
+			return
+		}
+		k := strings.Join(form, "\x00")
+		if _, ok := set[k]; ok {
+			return
+		}
+		set[k] = form
+		queue = append(queue, form)
+	}
+	push([]string{sym})
+	for len(queue) > 0 {
+		form := queue[0]
+		queue = queue[1:]
+		for i, s := range form {
+			if !g.NonTerminal(s) {
+				continue
+			}
+			for _, rhs := range g.Productions[s] {
+				next := make([]string, 0, len(form)+len(rhs)-1)
+				next = append(next, form[:i]...)
+				next = append(next, rhs...)
+				next = append(next, form[i+1:]...)
+				push(next)
+			}
+		}
+	}
+	return sortedStrings(set)
+}
+
+func sortedStrings(set map[string][]string) [][]string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := set[keys[i]], set[keys[j]]
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return keys[i] < keys[j]
+	})
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, set[k])
+	}
+	return out
+}
+
+// EqualUpTo reports whether two grammars derive the same terminal strings
+// up to the given length — the bounded, testable form of Lemma 4.1's
+// query-equivalence criterion (full language equality is undecidable).
+func EqualUpTo(g1, g2 *Grammar, maxLen int) bool {
+	return sameStrings(g1.Language(maxLen), g2.Language(maxLen))
+}
+
+// ExtendedEqualUpTo is the bounded form of Lemma 4.1's uniform
+// query-equivalence criterion: equality of the extended languages.
+func ExtendedEqualUpTo(g1, g2 *Grammar, maxLen int) bool {
+	return sameStrings(g1.ExtendedLanguage(maxLen), g2.ExtendedLanguage(maxLen))
+}
+
+func sameStrings(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if strings.Join(a[i], "\x00") != strings.Join(b[i], "\x00") {
+			return false
+		}
+	}
+	return true
+}

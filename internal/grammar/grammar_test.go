@@ -1,0 +1,335 @@
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+	"existdlog/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const tcChain = `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`
+
+func TestIsChainProgram(t *testing.T) {
+	if err := IsChainProgram(mustParse(t, tcChain)); err != nil {
+		t.Errorf("TC should be a chain program: %v", err)
+	}
+	bad := []string{
+		`a(X,Y) :- p(X,Z), q(Z,W,Y).` + "\n?- a(X,Y).",   // ternary literal
+		`a(X,Y) :- p(Y,Z), q(Z,X).` + "\n?- a(X,Y).",     // broken chain
+		`a(X,Y,Z) :- p(X,Y), q(Y,Z).` + "\n?- a(X,_,_).", // ternary head
+		`a(X,Y) :- p(X,Z), q(X,Y).` + "\n?- a(X,Y).",     // not a chain
+	}
+	for _, src := range bad {
+		p, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if err := IsChainProgram(p); err == nil {
+			t.Errorf("%q should not be a chain program", src)
+		}
+	}
+}
+
+func TestGrammarExtraction(t *testing.T) {
+	g, err := FromChainProgram(mustParse(t, tcChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Start != "a" {
+		t.Errorf("start = %s", g.Start)
+	}
+	if !g.Terminals["p"] || g.NonTerminal("p") {
+		t.Errorf("p should be a terminal")
+	}
+	// L(a) up to length 3 is p, pp, ppp.
+	lang := g.Language(3)
+	want := [][]string{{"p"}, {"p", "p"}, {"p", "p", "p"}}
+	if fmt.Sprint(lang) != fmt.Sprint(want) {
+		t.Errorf("language = %v", lang)
+	}
+}
+
+func TestLanguageWithUnitCycle(t *testing.T) {
+	// A → B | t ; B → A | u: unit cycles must not lose strings.
+	g := &Grammar{
+		Start: "A",
+		Productions: map[string][][]string{
+			"A": {{"B"}, {"t"}},
+			"B": {{"A"}, {"u"}},
+		},
+		Terminals: map[string]bool{"t": true, "u": true},
+	}
+	lang := g.Language(1)
+	if fmt.Sprint(lang) != fmt.Sprint([][]string{{"t"}, {"u"}}) {
+		t.Errorf("language = %v", lang)
+	}
+	if got := g.LanguageFrom("B", 1); fmt.Sprint(got) != fmt.Sprint([][]string{{"t"}, {"u"}}) {
+		t.Errorf("L(B) = %v", got)
+	}
+}
+
+func TestExtendedLanguage(t *testing.T) {
+	g, err := FromChainProgram(mustParse(t, tcChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := g.ExtendedLanguage(2)
+	// a; p; pa (from a→pa); pp.
+	want := [][]string{{"a"}, {"p"}, {"p", "a"}, {"p", "p"}}
+	if fmt.Sprint(ext) != fmt.Sprint(want) {
+		t.Errorf("extended language = %v", ext)
+	}
+}
+
+// Lemma 4.1(2), bounded: two chain programs are query-equivalent iff their
+// languages agree. Left- vs right-linear TC agree on L but differ on Lᵉˣ
+// (they are query- but not uniformly equivalent).
+func TestLemma41LanguageVsExtended(t *testing.T) {
+	right, err := FromChainProgram(mustParse(t, tcChain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, err := FromChainProgram(mustParse(t, `
+a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualUpTo(left, right, 6) {
+		t.Error("L(left) must equal L(right) (query equivalence)")
+	}
+	if ExtendedEqualUpTo(left, right, 4) {
+		t.Error("extended languages must differ (no uniform equivalence)")
+	}
+}
+
+// Lemma 4.1 in executable form: engine evaluation of a chain program
+// coincides with CFL-reachability of its grammar, on random graphs.
+func TestEngineMatchesCFLReachability(t *testing.T) {
+	programs := []string{
+		tcChain,
+		// Non-regular: a → p a q | p q (matched parentheses).
+		`a(X,Y) :- p(X,Z), a(Z,W), q(W,Y).
+a(X,Y) :- p(X,Z), q(Z,Y).
+?- a(X,Y).`,
+		// Two nonterminals.
+		`s(X,Y) :- p(X,Z), t(Z,Y).
+t(X,Y) :- q(X,Z), t(Z,W), q(W,Y).
+t(X,Y) :- q(X,Y).
+?- s(X,Y).`,
+	}
+	rng := rand.New(rand.NewSource(41))
+	for pi, src := range programs {
+		p := mustParse(t, src)
+		g, err := FromChainProgram(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			db := engine.NewDatabase()
+			n := 3 + rng.Intn(5)
+			for i := 0; i < 2*n; i++ {
+				db.Add("p", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+				db.Add("q", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+			}
+			res, err := engine.Eval(p, db, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfl, err := CFLReach(g, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for nt := range g.Productions {
+				var engRows []string
+				for _, row := range res.DB.Facts(nt) {
+					engRows = append(engRows, strings.Join(row, ","))
+				}
+				var cflRows []string
+				for _, pr := range cfl[nt] {
+					cflRows = append(cflRows, pr[0]+","+pr[1])
+				}
+				if fmt.Sprint(engRows) != fmt.Sprint(cflRows) {
+					t.Fatalf("program %d trial %d: %s differs\nengine: %v\ncfl:    %v",
+						pi, trial, nt, engRows, cflRows)
+				}
+			}
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Linearity
+	}{
+		{tcChain, RightLinear},
+		{`a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`, LeftLinear},
+		{`a(X,Y) :- p(X,Z), a(Z,W), q(W,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`, NotLinear},
+		{`a(X,Y) :- p(X,Z), q(Z,Y).
+?- a(X,Y).`, Acyclic},
+	}
+	for _, c := range cases {
+		g, err := FromChainProgram(mustParse(t, c.src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := Classify(g); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNFAAcceptsLanguage(t *testing.T) {
+	// a → p q a | p: L = (pq)^n p.
+	g, err := FromChainProgram(mustParse(t, `
+a(X,Y) :- p(X,Z), q(Z,W), a(W,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa, err := NFAFromRightLinear(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accept := [][]string{{"p"}, {"p", "q", "p"}, {"p", "q", "p", "q", "p"}}
+	reject := [][]string{{}, {"q"}, {"p", "q"}, {"p", "p"}, {"q", "p"}}
+	for _, s := range accept {
+		if !nfa.Accepts(s) {
+			t.Errorf("should accept %v", s)
+		}
+	}
+	for _, s := range reject {
+		if nfa.Accepts(s) {
+			t.Errorf("should reject %v", s)
+		}
+	}
+	// Cross-check against the bounded language enumeration.
+	for _, s := range g.Language(7) {
+		if !nfa.Accepts(s) {
+			t.Errorf("NFA rejects %v ∈ L(G)", s)
+		}
+	}
+}
+
+// Theorem 3.3, constructive half: the monadic program computes exactly the
+// projection of the binary chain program, for both existential queries and
+// both linearities.
+func TestMonadicFromChain(t *testing.T) {
+	programs := []string{
+		tcChain, // right-linear
+		`a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`, // left-linear
+		`a(X,Y) :- p(X,Z), q(Z,W), a(W,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`, // right-linear, longer body
+	}
+	rng := rand.New(rand.NewSource(33))
+	for pi, src := range programs {
+		p := mustParse(t, src)
+		for _, adorn := range []ast.Adornment{"dn", "nd"} {
+			mp, err := MonadicFromChain(p, adorn)
+			if err != nil {
+				t.Fatalf("program %d adorn %s: %v", pi, adorn, err)
+			}
+			// The constructed program must be monadic: derived predicates
+			// unary.
+			for _, r := range mp.Program.Rules {
+				if r.Head.Arity() != 1 {
+					t.Fatalf("non-monadic rule %s", r)
+				}
+			}
+			for trial := 0; trial < 6; trial++ {
+				db := engine.NewDatabase()
+				n := 3 + rng.Intn(5)
+				for i := 0; i < 2*n; i++ {
+					db.Add("p", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+					db.Add("q", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+				}
+				full, err := engine.Eval(p, db, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mono, err := engine.Eval(mp.Program, db, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Project the binary answer.
+				col := 1
+				if adorn == "nd" {
+					col = 0
+				}
+				wantSet := map[string]bool{}
+				for _, row := range full.DB.Facts("a") {
+					wantSet[row[col]] = true
+				}
+				gotSet := map[string]bool{}
+				for _, row := range mono.DB.Facts(mp.AnswerPred) {
+					gotSet[row[0]] = true
+				}
+				if len(wantSet) != len(gotSet) {
+					t.Fatalf("program %d adorn %s trial %d: want %v, got %v\nmonadic:\n%s",
+						pi, adorn, trial, wantSet, gotSet, mp.Program)
+				}
+				for k := range wantSet {
+					if !gotSet[k] {
+						t.Fatalf("program %d adorn %s: missing %s", pi, adorn, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMonadicRejectsNonLinear(t *testing.T) {
+	p := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,W), q(W,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	if _, err := MonadicFromChain(p, "dn"); err == nil {
+		t.Error("non-linear grammar must be rejected")
+	}
+}
+
+func TestToChainProgramRoundTrip(t *testing.T) {
+	p := mustParse(t, tcChain)
+	g, err := FromChainProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := g.ToChainProgram()
+	g2, err := FromChainProgram(back)
+	if err != nil {
+		t.Fatalf("round-tripped program is not a chain program: %v\n%s", err, back)
+	}
+	if !EqualUpTo(g, g2, 5) {
+		t.Errorf("round trip changed the language:\n%s", back)
+	}
+}

@@ -1,0 +1,56 @@
+package grammar
+
+import "sort"
+
+// This file completes the four-way correspondence of Lemma 4.1 between
+// notions of chain-program equivalence and grammar language equalities:
+//
+//  1. DB equivalence       ⟺ L(G1,S) = L(G2,S) for every nonterminal S;
+//  2. query equivalence    ⟺ L(G1,Q1) = L(G2,Q2);
+//  3. uniform equivalence  ⟺ Lᵉˣ(G1,S) = Lᵉˣ(G2,S) for every nonterminal;
+//  4. uniform query equiv. ⟺ Lᵉˣ(G1,Q1) = Lᵉˣ(G2,Q2).
+//
+// Items 2 and 4 are undecidable in general (Lemma 4.2); the *EqualUpTo
+// functions are their bounded, testable forms, and EquivalentRegular (in
+// dfa.go) decides item 2 exactly for linear grammars. Item 3 is decidable
+// (Sagiv); the bounded form here is cross-checked against the uniform
+// package's decision procedure in the tests.
+
+// sharedNonTerminals returns the union of both grammars' nonterminals.
+func sharedNonTerminals(g1, g2 *Grammar) []string {
+	set := map[string]bool{}
+	for nt := range g1.Productions {
+		set[nt] = true
+	}
+	for nt := range g2.Productions {
+		set[nt] = true
+	}
+	out := make([]string, 0, len(set))
+	for nt := range set {
+		out = append(out, nt)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DBEqualUpTo is the bounded form of Lemma 4.1(1): DB equivalence demands
+// language equality at every nonterminal, not just the query's.
+func DBEqualUpTo(g1, g2 *Grammar, maxLen int) bool {
+	for _, nt := range sharedNonTerminals(g1, g2) {
+		if !sameStrings(g1.LanguageFrom(nt, maxLen), g2.LanguageFrom(nt, maxLen)) {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformEqualUpTo is the bounded form of Lemma 4.1(3): uniform
+// equivalence demands extended-language equality at every nonterminal.
+func UniformEqualUpTo(g1, g2 *Grammar, maxLen int) bool {
+	for _, nt := range sharedNonTerminals(g1, g2) {
+		if !sameStrings(g1.ExtendedLanguageFrom(nt, maxLen), g2.ExtendedLanguageFrom(nt, maxLen)) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,141 @@
+package grammar
+
+import (
+	"testing"
+
+	"existdlog/internal/uniform"
+)
+
+// Lemma 4.1(3): the bounded extended-language test must agree with the
+// uniform package's (exact, Sagiv-style) decision procedure on chain
+// programs whose distinguishing sentential forms are short.
+func TestLemma41UniformAgreesWithSagiv(t *testing.T) {
+	cases := []struct {
+		name     string
+		src1     string
+		src2     string
+		boundLen int
+	}{
+		{
+			name: "left-vs-right-linear TC",
+			src1: `a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`,
+			src2: `a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`,
+			boundLen: 4,
+		},
+		{
+			name: "identical programs",
+			src1: `a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`,
+			src2: `a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`,
+			boundLen: 5,
+		},
+		{
+			name: "redundant long-step rule",
+			src1: `a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`,
+			src2: `a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).`,
+			boundLen: 5,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p1, p2 := mustParse(t, c.src1), mustParse(t, c.src2)
+			g1, err := FromChainProgram(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := FromChainProgram(p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounded := UniformEqualUpTo(g1, g2, c.boundLen)
+			exact, err := uniform.Equivalent(p1, p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bounded != exact {
+				t.Errorf("Lemma 4.1(3) mismatch: bounded=%v exact=%v", bounded, exact)
+			}
+		})
+	}
+}
+
+// Lemma 4.1(1) vs (2): DB equivalence is strictly stronger than query
+// equivalence — two programs can agree at the query predicate while an
+// auxiliary nonterminal differs.
+func TestLemma41DBVsQuery(t *testing.T) {
+	p1 := mustParse(t, `
+s(X,Y) :- t(X,Y).
+t(X,Y) :- p(X,Y).
+?- s(X,Y).
+`)
+	p2 := mustParse(t, `
+s(X,Y) :- t(X,Y).
+t(X,Y) :- p(X,Z), p(Z,Y).
+s(X,Y) :- p(X,Y).
+t(X,Y) :- p(X,Y).
+?- s(X,Y).
+`)
+	g1, err := FromChainProgram(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromChainProgram(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query languages differ here too (p2's s also derives pp), so build
+	// the contrast the other way: same query language, different t.
+	if EqualUpTo(g1, g2, 4) {
+		t.Skip("unexpected query-language equality")
+	}
+	p3 := mustParse(t, `
+s(X,Y) :- p(X,Y).
+t(X,Y) :- p(X,Y).
+?- s(X,Y).
+`)
+	p4 := mustParse(t, `
+s(X,Y) :- p(X,Y).
+t(X,Y) :- p(X,Z), p(Z,Y).
+?- s(X,Y).
+`)
+	g3, _ := FromChainProgram(p3)
+	g4, _ := FromChainProgram(p4)
+	if !EqualUpTo(g3, g4, 5) {
+		t.Error("query languages must agree (both {p})")
+	}
+	if DBEqualUpTo(g3, g4, 5) {
+		t.Error("DB equivalence must fail: t differs")
+	}
+}
+
+// A redundant rule keeps all four equivalences.
+func TestLemma41RedundantRulePreservesAll(t *testing.T) {
+	p1 := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	p2 := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	g1, _ := FromChainProgram(p1)
+	g2, _ := FromChainProgram(p2)
+	if !DBEqualUpTo(g1, g2, 5) || !UniformEqualUpTo(g1, g2, 4) || !EqualUpTo(g1, g2, 5) {
+		t.Error("duplicated rule must preserve every equivalence")
+	}
+}

@@ -1,0 +1,117 @@
+// Package harness runs the experiment suite of EXPERIMENTS.md: it
+// evaluates program variants over workload sweeps and renders the result
+// tables. Each benchmark in the repository's bench_test.go drives one
+// experiment through this package so the printed rows and the recorded
+// tables come from the same code.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+)
+
+// Row is one measurement: a program variant evaluated over one workload
+// instance.
+type Row struct {
+	Experiment string
+	Workload   string
+	Variant    string
+	Rules      int
+	Answers    int
+	Facts      int   // distinct derived facts
+	Derivs     int64 // derivations incl. duplicates
+	Dups       int64 // duplicate-elimination hits
+	Iters      int
+	Retired    int // rules retired by the boolean cut
+	Elapsed    time.Duration
+}
+
+// Run evaluates p over db and returns the filled row.
+func Run(experiment, workload, variant string, p *ast.Program, db *engine.Database, opts engine.Options) (Row, error) {
+	start := time.Now()
+	res, err := engine.Eval(p, db, opts)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s/%s/%s: %w", experiment, workload, variant, err)
+	}
+	elapsed := time.Since(start)
+	return Row{
+		Experiment: experiment,
+		Workload:   workload,
+		Variant:    variant,
+		Rules:      len(p.Rules),
+		Answers:    res.AnswerCount(p.Query),
+		Facts:      res.Stats.FactsDerived,
+		Derivs:     res.Stats.Derivations,
+		Dups:       res.Stats.DuplicateHits,
+		Iters:      res.Stats.Iterations,
+		Retired:    res.Stats.RulesRetired,
+		Elapsed:    elapsed,
+	}, nil
+}
+
+// WriteTable renders rows as an aligned text table.
+func WriteTable(w io.Writer, rows []Row) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-6s %-14s %-22s %5s %8s %9s %10s %9s %5s %5s %12s\n",
+		"exp", "workload", "variant", "rules", "answers", "facts", "derivs", "dups", "iters", "cut", "elapsed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-14s %-22s %5d %8d %9d %10d %9d %5d %5d %12s\n",
+			r.Experiment, r.Workload, r.Variant, r.Rules, r.Answers, r.Facts,
+			r.Derivs, r.Dups, r.Iters, r.Retired, r.Elapsed.Round(time.Microsecond))
+	}
+}
+
+// Table renders rows as a string.
+func Table(rows []Row) string {
+	var sb strings.Builder
+	WriteTable(&sb, rows)
+	return sb.String()
+}
+
+// Speedup summarizes variant pairs: for each workload present in rows, the
+// ratio of the baseline variant's facts/derivations/time to the
+// optimized variant's.
+func Speedup(rows []Row, baseline, optimized string) string {
+	byKey := map[string]map[string]Row{}
+	var order []string
+	for _, r := range rows {
+		m, ok := byKey[r.Workload]
+		if !ok {
+			m = map[string]Row{}
+			byKey[r.Workload] = m
+			order = append(order, r.Workload)
+		}
+		m[r.Variant] = r
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %12s %12s %12s\n", "workload", "facts×", "derivs×", "time×")
+	for _, wl := range order {
+		b, okB := byKey[wl][baseline]
+		o, okO := byKey[wl][optimized]
+		if !okB || !okO {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-14s %12s %12s %12s\n", wl,
+			ratio(float64(b.Facts), float64(o.Facts)),
+			ratio(float64(b.Derivs), float64(o.Derivs)),
+			ratio(float64(b.Elapsed), float64(o.Elapsed)))
+	}
+	return sb.String()
+}
+
+func ratio(a, b float64) string {
+	if b == 0 {
+		if a == 0 {
+			return "1.0"
+		}
+		return "inf"
+	}
+	return fmt.Sprintf("%.1f", a/b)
+}

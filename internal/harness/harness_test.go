@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"existdlog/internal/engine"
+	"existdlog/internal/parser"
+	"existdlog/internal/workload"
+)
+
+func TestRunFillsRow(t *testing.T) {
+	p := parser.MustParseProgram(`
+a(X,Y) :- e(X,Z), a(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(X,Y).
+`)
+	db := engine.NewDatabase()
+	workload.Chain(db, "e", 8)
+	row, err := Run("EX", "chain-8", "original", p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Experiment != "EX" || row.Workload != "chain-8" || row.Variant != "original" {
+		t.Errorf("labels: %+v", row)
+	}
+	if row.Rules != 2 || row.Answers != 36 || row.Facts != 36 {
+		t.Errorf("measures: %+v", row)
+	}
+	if row.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	p := parser.MustParseProgram(`
+a(X,Y) :- e(X,Z), a(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(X,Y).
+`)
+	db := engine.NewDatabase()
+	workload.Chain(db, "e", 50)
+	_, err := Run("EX", "w", "v", p, db, engine.Options{MaxIterations: 2})
+	if err == nil || !strings.Contains(err.Error(), "EX/w/v") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTableAndSpeedup(t *testing.T) {
+	rows := []Row{
+		{Experiment: "E", Workload: "w1", Variant: "base", Facts: 100, Derivs: 200, Elapsed: 10 * time.Millisecond},
+		{Experiment: "E", Workload: "w1", Variant: "opt", Facts: 10, Derivs: 20, Elapsed: time.Millisecond},
+		{Experiment: "E", Workload: "w2", Variant: "base", Facts: 50, Derivs: 50, Elapsed: 5 * time.Millisecond},
+		{Experiment: "E", Workload: "w2", Variant: "opt", Facts: 50, Derivs: 50, Elapsed: 5 * time.Millisecond},
+	}
+	table := Table(rows)
+	if !strings.Contains(table, "w1") || !strings.Contains(table, "opt") {
+		t.Errorf("table:\n%s", table)
+	}
+	sp := Speedup(rows, "base", "opt")
+	if !strings.Contains(sp, "10.0") {
+		t.Errorf("speedup:\n%s", sp)
+	}
+	if !strings.Contains(sp, "1.0") {
+		t.Errorf("speedup should include the 1.0 row:\n%s", sp)
+	}
+}
+
+func TestSpeedupZeroDenominator(t *testing.T) {
+	rows := []Row{
+		{Workload: "w", Variant: "base", Facts: 5},
+		{Workload: "w", Variant: "opt", Facts: 0},
+	}
+	sp := Speedup(rows, "base", "opt")
+	if !strings.Contains(sp, "inf") {
+		t.Errorf("speedup:\n%s", sp)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if Table(nil) != "" {
+		t.Error("empty rows should render nothing")
+	}
+}

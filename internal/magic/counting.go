@@ -1,0 +1,123 @@
+package magic
+
+import (
+	"fmt"
+
+	"existdlog/internal/ast"
+)
+
+// CountingRewrite implements the counting method for the canonical linear
+// recursion with a bound first argument — the same-generation shape
+//
+//	sg(X,Y) :- up(X,U), sg(U,V), dn(V,Y).
+//	sg(X,Y) :- flat(X,Y).
+//	?- sg(c, Y).
+//
+// and its degenerate transitive-closure shape without the dn literal. The
+// rewrite replaces the binary recursion by level-indexed unary phases
+// using the engine's succ builtin:
+//
+//	m(0, c).                                  % reach up, counting levels
+//	m(J, U) :- m(I, X), up(X, U), succ(I, J).
+//	s(I, V) :- m(I, X), flat(X, V).           % cross over
+//	s(I, Y) :- s(J, V), dn(V, Y), succ(I, J). % come back down, counting
+//	ans(Y)  :- s(0, Y).
+//
+// Counting is sound only on acyclic up-graphs (the indices diverge on
+// cycles — the well-known limitation); the engine's MaxFacts guard
+// protects runaway evaluations.
+func CountingRewrite(p *ast.Program) (*ast.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("magic: negation is not supported by this rewriting")
+	}
+	q := p.Query
+	if q.Arity() != 2 || q.Args[0].Kind != ast.Constant || q.Args[1].Kind != ast.Variable {
+		return nil, fmt.Errorf("magic: counting needs a query of the form sg(c, Y)")
+	}
+	rules := p.RulesFor(q.Key())
+	if len(rules) != 2 {
+		return nil, fmt.Errorf("magic: counting needs exactly one recursive and one exit rule")
+	}
+	var rec, exit *ast.Rule
+	for _, ri := range rules {
+		r := &p.Rules[ri]
+		recursive := false
+		for _, b := range r.Body {
+			if b.Key() == q.Key() {
+				recursive = true
+			}
+		}
+		if recursive {
+			rec = r
+		} else {
+			exit = r
+		}
+	}
+	if rec == nil || exit == nil {
+		return nil, fmt.Errorf("magic: counting needs one recursive and one exit rule")
+	}
+	// Exit shape: sg(X,Y) :- flat(X,Y).
+	if len(exit.Body) != 1 || exit.Body[0].Arity() != 2 ||
+		exit.Body[0].Args[0] != exit.Head.Args[0] || exit.Body[0].Args[1] != exit.Head.Args[1] {
+		return nil, fmt.Errorf("magic: counting needs an exit rule sg(X,Y) :- flat(X,Y)")
+	}
+	flat := exit.Body[0].Key()
+	// Recursive shape: sg(X,Y) :- up(X,U), sg(U,V)[, dn(V,Y)] — or the TC
+	// shape sg(X,Y) :- up(X,U), sg(U,Y).
+	if len(rec.Body) < 2 || len(rec.Body) > 3 {
+		return nil, fmt.Errorf("magic: unsupported recursive rule %s", rec)
+	}
+	up, sg := rec.Body[0], rec.Body[1]
+	if sg.Key() != q.Key() || up.Arity() != 2 ||
+		up.Args[0] != rec.Head.Args[0] || sg.Args[0] != up.Args[1] {
+		return nil, fmt.Errorf("magic: unsupported recursive rule %s", rec)
+	}
+	hasDn := len(rec.Body) == 3
+	var dnKey string
+	if hasDn {
+		dn := rec.Body[2]
+		if dn.Arity() != 2 || dn.Args[0] != sg.Args[1] || dn.Args[1] != rec.Head.Args[1] {
+			return nil, fmt.Errorf("magic: unsupported recursive rule %s", rec)
+		}
+		dnKey = dn.Key()
+	} else if sg.Args[1] != rec.Head.Args[1] {
+		return nil, fmt.Errorf("magic: unsupported recursive rule %s", rec)
+	}
+
+	c := q.Args[0]
+	var out []ast.Rule
+	out = append(out,
+		ast.NewRule(ast.NewAtom("cnt_m", ast.C("0"), c)),
+		ast.NewRule(ast.NewAtom("cnt_m", ast.V("J"), ast.V("U")),
+			ast.NewAtom("cnt_m", ast.V("I"), ast.V("X")),
+			ast.NewAtom(up.Key(), ast.V("X"), ast.V("U")),
+			ast.NewAtom("succ", ast.V("I"), ast.V("J"))),
+		ast.NewRule(ast.NewAtom("cnt_s", ast.V("I"), ast.V("V")),
+			ast.NewAtom("cnt_m", ast.V("I"), ast.V("X")),
+			ast.NewAtom(flat, ast.V("X"), ast.V("V"))),
+	)
+	if hasDn {
+		out = append(out,
+			ast.NewRule(ast.NewAtom("cnt_s", ast.V("I"), ast.V("Y")),
+				ast.NewAtom("cnt_s", ast.V("J"), ast.V("V")),
+				ast.NewAtom(dnKey, ast.V("V"), ast.V("Y")),
+				ast.NewAtom("succ", ast.V("I"), ast.V("J"))),
+			ast.NewRule(ast.NewAtom("cnt_ans", ast.V("Y")),
+				ast.NewAtom("cnt_s", ast.C("0"), ast.V("Y"))),
+		)
+	} else {
+		// TC shape: any level's crossover is an answer.
+		out = append(out,
+			ast.NewRule(ast.NewAtom("cnt_ans", ast.V("Y")),
+				ast.NewAtom("cnt_s", ast.V("I"), ast.V("Y"))),
+		)
+	}
+	np := ast.NewProgram(ast.NewAtom("cnt_ans", ast.V("Y")), out...)
+	if err := np.Validate(); err != nil {
+		return nil, fmt.Errorf("magic: counting rewrite invalid: %w", err)
+	}
+	return np, nil
+}

@@ -1,0 +1,210 @@
+// Package magic implements the selection-pushing rewritings the paper
+// treats as orthogonal to projection pushing (Sections 1.2 and 6): the
+// (generalized) magic-sets transformation with left-to-right sideways
+// information passing, and the counting rewrite for the canonical linear
+// recursion. The E9 experiment composes them with the existential
+// optimizations to demonstrate the orthogonality claim.
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"existdlog/internal/ast"
+)
+
+// magicName builds the magic predicate name for an adorned predicate.
+func magicName(pred string, a ast.Adornment) string {
+	return "m_" + pred + "_" + string(a)
+}
+
+// bfGoal computes the bound/free adornment of the query goal: constants
+// are bound, variables free.
+func bfGoal(goal ast.Atom) ast.Adornment {
+	var sb strings.Builder
+	for _, t := range goal.Args {
+		if t.Kind == ast.Constant {
+			sb.WriteByte('b')
+		} else {
+			sb.WriteByte('f')
+		}
+	}
+	return ast.Adornment(sb.String())
+}
+
+// Rewrite performs the generalized magic-sets transformation of p for its
+// query goal, with left-to-right sideways information passing. Derived
+// predicates are specialized by bound/free adornments; each rule is
+// guarded by the magic set of its head; magic rules seed the computation
+// from the query's constants (the seed is an empty-bodied rule, which the
+// engine evaluates once at startup).
+//
+// The input may already carry existential (n/d) adornments from the
+// projection pipeline — those are part of the predicate identity and pass
+// through untouched; the magic adornment is tracked in the rewritten
+// predicate names.
+func Rewrite(p *ast.Program) (*ast.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("magic: negation is not supported by this rewriting")
+	}
+	if p.Query.Pred == "" {
+		return nil, fmt.Errorf("magic: program has no query goal")
+	}
+	goalAd := bfGoal(p.Query)
+
+	out := &ast.Program{Derived: make(map[string]bool)}
+
+	// name returns the specialized predicate for a derived atom under a
+	// b/f adornment (keeping any existential adornment in the name).
+	name := func(a ast.Atom, bf ast.Adornment) string {
+		base := a.Pred
+		if a.Adornment != "" {
+			base += "_" + string(a.Adornment)
+		}
+		return base + "_" + string(bf)
+	}
+
+	type job struct {
+		key string // original predicate key
+		bf  ast.Adornment
+	}
+	marked := map[string]bool{}
+	var worklist []job
+	push := func(key string, bf ast.Adornment) {
+		k := key + "#" + string(bf)
+		if !marked[k] {
+			marked[k] = true
+			worklist = append(worklist, job{key, bf})
+		}
+	}
+	push(p.Query.Key(), goalAd)
+
+	// Magic seed: m_q^a(bound constants).
+	var seedArgs []ast.Term
+	for i, t := range p.Query.Args {
+		if goalAd[i] == 'b' {
+			seedArgs = append(seedArgs, t)
+		}
+	}
+	qAtomName := name(p.Query, goalAd)
+	seed := ast.NewRule(ast.NewAtom(magicName(qAtomName, goalAd), seedArgs...))
+	out.Rules = append(out.Rules, seed)
+	out.Derived[seed.Head.Key()] = true
+
+	for len(worklist) > 0 {
+		j := worklist[0]
+		worklist = worklist[1:]
+		for _, r := range p.Rules {
+			if r.Head.Key() != j.key {
+				continue
+			}
+			nr, magicRules, calls := rewriteRule(p, r, j.bf, name)
+			out.Rules = append(out.Rules, nr)
+			out.Rules = append(out.Rules, magicRules...)
+			out.Derived[nr.Head.Key()] = true
+			for _, mr := range magicRules {
+				out.Derived[mr.Head.Key()] = true
+			}
+			for _, c := range calls {
+				push(c.key, c.bf)
+			}
+		}
+	}
+
+	goal := p.Query.Clone()
+	goal.Pred = qAtomName
+	goal.Adornment = ""
+	out.Query = goal
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("magic: rewrite produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+type call struct {
+	key string
+	bf  ast.Adornment
+}
+
+// rewriteRule produces the guarded rule and the magic rules for one
+// adorned rule instance.
+func rewriteRule(p *ast.Program, r ast.Rule, headBF ast.Adornment,
+	name func(ast.Atom, ast.Adornment) string) (ast.Rule, []ast.Rule, []call) {
+
+	bound := map[string]bool{}
+	var boundHeadArgs []ast.Term
+	for i, t := range r.Head.Args {
+		if headBF[i] == 'b' {
+			if t.Kind == ast.Variable {
+				bound[t.Name] = true
+			}
+			boundHeadArgs = append(boundHeadArgs, t)
+		}
+	}
+	headName := name(r.Head, headBF)
+	magicHead := ast.NewAtom(magicName(headName, headBF), boundHeadArgs...)
+
+	newHead := ast.Atom{Pred: headName, Args: cloneTerms(r.Head.Args)}
+	nr := ast.Rule{Head: newHead, Body: []ast.Atom{magicHead.Clone()}}
+	var magicRules []ast.Rule
+	var calls []call
+
+	for _, b := range r.Body {
+		if !p.Derived[b.Key()] {
+			nr.Body = append(nr.Body, b.Clone())
+			for _, t := range b.Args {
+				if t.Kind == ast.Variable {
+					bound[t.Name] = true
+				}
+			}
+			continue
+		}
+		// Compute the b/f adornment of this call under the current
+		// bindings.
+		var bf strings.Builder
+		var boundArgs []ast.Term
+		for _, t := range b.Args {
+			if t.Kind == ast.Constant || (t.Kind == ast.Variable && bound[t.Name]) {
+				bf.WriteByte('b')
+				boundArgs = append(boundArgs, t)
+			} else {
+				bf.WriteByte('f')
+			}
+		}
+		callBF := ast.Adornment(bf.String())
+		callName := name(b, callBF)
+		// Magic rule: m_call(bound args) :- <guard and body so far>.
+		mr := ast.Rule{
+			Head: ast.NewAtom(magicName(callName, callBF), boundArgs...),
+			Body: cloneAtoms(nr.Body),
+		}
+		magicRules = append(magicRules, mr)
+		calls = append(calls, call{b.Key(), callBF})
+		// Rewritten call in the body.
+		nb := ast.Atom{Pred: callName, Args: cloneTerms(b.Args)}
+		nr.Body = append(nr.Body, nb)
+		for _, t := range b.Args {
+			if t.Kind == ast.Variable {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return nr, magicRules, calls
+}
+
+func cloneTerms(ts []ast.Term) []ast.Term {
+	out := make([]ast.Term, len(ts))
+	copy(out, ts)
+	return out
+}
+
+func cloneAtoms(as []ast.Atom) []ast.Atom {
+	out := make([]ast.Atom, len(as))
+	for i := range as {
+		out[i] = as[i].Clone()
+	}
+	return out
+}

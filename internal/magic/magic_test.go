@@ -1,0 +1,361 @@
+package magic
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+	"existdlog/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func chainDB(n int) *engine.Database {
+	db := engine.NewDatabase()
+	for i := 0; i < n; i++ {
+		db.Add("e", fmt.Sprint(i), fmt.Sprint(i+1))
+	}
+	return db
+}
+
+const boundTC = `
+a(X,Y) :- e(X,Z), a(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(5, Y).
+`
+
+func TestMagicRewriteBoundTC(t *testing.T) {
+	p := mustParse(t, boundTC)
+	mp, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chainDB(40)
+	orig, err := engine.Eval(p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	magic, err := engine.Eval(mp, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa := orig.Answers(p.Query)
+	ga := magic.Answers(mp.Query)
+	// Compare the free column.
+	if len(wa) != len(ga) {
+		t.Fatalf("answers differ: %d vs %d\n%s", len(wa), len(ga), mp)
+	}
+	for i := range wa {
+		if wa[i][1] != ga[i][1] {
+			t.Errorf("row %d: %v vs %v", i, wa[i], ga[i])
+		}
+	}
+	// The point of magic sets: do not compute the whole closure.
+	if magic.Stats.FactsDerived >= orig.Stats.FactsDerived {
+		t.Errorf("magic should derive fewer facts: %d vs %d",
+			magic.Stats.FactsDerived, orig.Stats.FactsDerived)
+	}
+}
+
+func TestMagicRewriteRandomGraphs(t *testing.T) {
+	p := mustParse(t, boundTC)
+	mp, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 15; trial++ {
+		db := engine.NewDatabase()
+		n := 4 + rng.Intn(8)
+		for i := 0; i < 3*n; i++ {
+			db.Add("e", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+		}
+		orig, err := engine.Eval(p, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		magic, err := engine.Eval(mp, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1 := orig.Answers(p.Query)
+		a2 := magic.Answers(mp.Query)
+		if fmt.Sprint(project(a1, 1)) != fmt.Sprint(project(a2, 1)) {
+			t.Fatalf("trial %d: %v vs %v", trial, a1, a2)
+		}
+	}
+}
+
+func project(rows [][]string, col int) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r[col]
+	}
+	return out
+}
+
+// Same-generation with a bound source: the classic magic-sets showcase.
+func TestMagicSameGeneration(t *testing.T) {
+	p := mustParse(t, `
+sg(X,Y) :- up(X,U), sg(U,V), dn(V,Y).
+sg(X,Y) :- flat(X,Y).
+?- sg(t0a0, Y).
+`)
+	mp, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sgDB(6, 8)
+	orig, err := engine.Eval(p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	magic, err := engine.Eval(mp, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(project(orig.Answers(p.Query), 1)) !=
+		fmt.Sprint(project(magic.Answers(mp.Query), 1)) {
+		t.Fatalf("answers differ:\n%v\n%v", orig.Answers(p.Query), magic.Answers(mp.Query))
+	}
+	if magic.Stats.FactsDerived >= orig.Stats.FactsDerived {
+		t.Errorf("magic should derive fewer facts: %d vs %d",
+			magic.Stats.FactsDerived, orig.Stats.FactsDerived)
+	}
+}
+
+// sgDB builds disjoint same-generation towers: in tower t, a-nodes go up,
+// b-nodes come down, and flat edges connect levels. The bound query lands
+// in tower 0, so magic sets should ignore the other towers entirely.
+func sgDB(depth, towers int) *engine.Database {
+	db := engine.NewDatabase()
+	for t := 0; t < towers; t++ {
+		for i := 0; i < depth; i++ {
+			db.Add("up", fmt.Sprintf("t%da%d", t, i), fmt.Sprintf("t%da%d", t, i+1))
+			db.Add("dn", fmt.Sprintf("t%db%d", t, i+1), fmt.Sprintf("t%db%d", t, i))
+			db.Add("flat", fmt.Sprintf("t%da%d", t, i), fmt.Sprintf("t%db%d", t, i))
+		}
+		db.Add("flat", fmt.Sprintf("t%da%d", t, depth), fmt.Sprintf("t%db%d", t, depth))
+	}
+	return db
+}
+
+func TestCountingSameGeneration(t *testing.T) {
+	p := mustParse(t, `
+sg(X,Y) :- up(X,U), sg(U,V), dn(V,Y).
+sg(X,Y) :- flat(X,Y).
+?- sg(t0a0, Y).
+`)
+	cp, err := CountingRewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sgDB(6, 1)
+	orig, err := engine.Eval(p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, err := engine.Eval(cp, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := project(orig.Answers(p.Query), 1)
+	got := project(cnt.Answers(cp.Query), 0)
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Fatalf("counting answers differ: %v vs %v\n%s", want, got, cp)
+	}
+}
+
+func TestCountingTCShape(t *testing.T) {
+	p := mustParse(t, `
+a(X,Y) :- e(X,Z), a(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(0, Y).
+`)
+	cp, err := CountingRewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chainDB(12)
+	orig, _ := engine.Eval(p, db, engine.Options{})
+	cnt, err := engine.Eval(cp, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := project(orig.Answers(p.Query), 1)
+	got := project(cnt.Answers(cp.Query), 0)
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		t.Fatalf("counting TC answers differ: %v vs %v", want, got)
+	}
+}
+
+func TestCountingRejectsUnsupportedShapes(t *testing.T) {
+	bad := []string{
+		`a(X,Y) :- e(X,Y).
+?- a(0, Y).`, // no recursion
+		`a(X,Y) :- a(X,Z), e(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(0, Y).`, // left-linear
+		`a(X,Y) :- e(X,Z), a(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(X, Y).`, // unbound query
+	}
+	for _, src := range bad {
+		if _, err := CountingRewrite(mustParse(t, src)); err == nil {
+			t.Errorf("%q should be rejected", src)
+		}
+	}
+}
+
+func TestMagicAllFreeQuery(t *testing.T) {
+	// With no bound arguments magic degenerates gracefully (boolean seed).
+	p := mustParse(t, `
+a(X,Y) :- e(X,Z), a(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(X, Y).
+`)
+	mp, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := chainDB(8)
+	orig, _ := engine.Eval(p, db, engine.Options{})
+	magic, err := engine.Eval(mp, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.AnswerCount(p.Query) != magic.AnswerCount(mp.Query) {
+		t.Errorf("all-free magic changed the answer: %d vs %d",
+			orig.AnswerCount(p.Query), magic.AnswerCount(mp.Query))
+	}
+}
+
+// Composition with existential adornments: magic applies to an already
+// projected program (the paper's orthogonality claim).
+func TestMagicComposesWithProjectedProgram(t *testing.T) {
+	p := mustParse(t, `
+a@nd(X) :- e(X,Z), a@nd(Z).
+a@nd(X) :- e(X,Z).
+?- a@nd(c0x5).
+`)
+	mp, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A forest of disjoint chains: the bound query touches one of them.
+	db := engine.NewDatabase()
+	for c := 0; c < 10; c++ {
+		for i := 0; i < 60; i++ {
+			db.Add("e", fmt.Sprintf("c%dx%d", c, i), fmt.Sprintf("c%dx%d", c, i+1))
+		}
+	}
+	orig, _ := engine.Eval(p, db, engine.Options{})
+	magic, err := engine.Eval(mp, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.AnswerCount(p.Query) != magic.AnswerCount(mp.Query) {
+		t.Fatalf("composed answers differ: %d vs %d",
+			orig.AnswerCount(p.Query), magic.AnswerCount(mp.Query))
+	}
+	if magic.Stats.FactsDerived >= orig.Stats.FactsDerived {
+		t.Errorf("magic on projected program should restrict computation: %d vs %d",
+			magic.Stats.FactsDerived, orig.Stats.FactsDerived)
+	}
+	if got := magic.Answers(mp.Query); len(got) != 1 {
+		t.Errorf("bound existential query should have one answer, got %v", got)
+	}
+}
+
+func TestMagicErrorsWithoutQuery(t *testing.T) {
+	p := ast.NewProgram(ast.Atom{}, ast.NewRule(
+		ast.NewAtom("a", ast.V("X")), ast.NewAtom("e", ast.V("X"))))
+	if _, err := Rewrite(p); err == nil {
+		t.Error("missing query should error")
+	}
+}
+
+// Supplementary magic must agree with plain magic on answers; its payoff
+// is on rules with several derived calls (the non-linear same-generation
+// program), where the shared prefix is materialized once.
+func TestSupplementaryMagicNonLinearSG(t *testing.T) {
+	src := `
+sg(X,Y) :- up(X,U), sg(U,V), flat(V,W), sg(W,Z), dn(Z,Y).
+sg(X,Y) :- flat(X,Y).
+?- sg(t0a0, Y).
+`
+	p := mustParse(t, src)
+	plain, err := Rewrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supp, err := RewriteSupplementary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sgDB(5, 4)
+	orig, err := engine.Eval(p, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := engine.Eval(plain, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := engine.Eval(supp, db, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := project(orig.Answers(p.Query), 1)
+	if got := project(rp.Answers(plain.Query), 1); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("plain magic answers differ: %v vs %v", got, want)
+	}
+	if got := project(rs.Answers(supp.Query), 1); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("supplementary answers differ: %v vs %v\n%s", got, want, supp)
+	}
+	// The prefix join up(X,U) ⋈ sg(U,V) ⋈ flat(V,W) is computed once for
+	// both the second magic rule and the final join: fewer join probes.
+	if rs.Stats.JoinProbes >= rp.Stats.JoinProbes {
+		t.Logf("plain: %+v", rp.Stats)
+		t.Logf("supp:  %+v", rs.Stats)
+		t.Errorf("supplementary should probe less: %d vs %d",
+			rs.Stats.JoinProbes, rp.Stats.JoinProbes)
+	}
+}
+
+func TestSupplementaryMagicLinearAgrees(t *testing.T) {
+	p := mustParse(t, boundTC)
+	supp, err := RewriteSupplementary(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		db := engine.NewDatabase()
+		n := 4 + rng.Intn(8)
+		for i := 0; i < 3*n; i++ {
+			db.Add("e", fmt.Sprint(rng.Intn(n)), fmt.Sprint(rng.Intn(n)))
+		}
+		orig, err := engine.Eval(p, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := engine.Eval(supp, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(project(orig.Answers(p.Query), 1)) !=
+			fmt.Sprint(project(rs.Answers(supp.Query), 1)) {
+			t.Fatalf("trial %d answers differ\n%s", trial, supp)
+		}
+	}
+}

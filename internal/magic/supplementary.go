@@ -1,0 +1,230 @@
+package magic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"existdlog/internal/ast"
+)
+
+// RewriteSupplementary performs the supplementary magic-sets
+// transformation: like Rewrite, but each rule's partial joins are
+// materialized once in supplementary predicates instead of being recomputed
+// by every magic rule. For rules with several derived calls (e.g. the
+// non-linear same-generation program) this avoids re-joining the common
+// prefix per call.
+//
+// Structure per rule p^a(t̄) :- l1, ..., ln:
+//
+//	sup_0 ≡ m_p^a(bound(t̄))
+//	before the k-th derived call li:
+//	    m_li(bound(li))    :- sup_{k-1}(V_{k-1}), <base literals since>.
+//	    sup_k(V_k)         :- sup_{k-1}(V_{k-1}), <base literals since>, li'.
+//	finally:
+//	    p^a(t̄)             :- sup_last(V), <trailing base literals>.
+//
+// where V_k keeps exactly the variables still needed downstream.
+func RewriteSupplementary(p *ast.Program) (*ast.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.HasNegation() {
+		return nil, fmt.Errorf("magic: negation is not supported by this rewriting")
+	}
+	if p.Query.Pred == "" {
+		return nil, fmt.Errorf("magic: program has no query goal")
+	}
+	goalAd := bfGoal(p.Query)
+
+	out := &ast.Program{Derived: make(map[string]bool)}
+	name := func(a ast.Atom, bf ast.Adornment) string {
+		base := a.Pred
+		if a.Adornment != "" {
+			base += "_" + string(a.Adornment)
+		}
+		return base + "_" + string(bf)
+	}
+
+	type job struct {
+		key string
+		bf  ast.Adornment
+	}
+	marked := map[string]bool{}
+	var worklist []job
+	push := func(key string, bf ast.Adornment) {
+		k := key + "#" + string(bf)
+		if !marked[k] {
+			marked[k] = true
+			worklist = append(worklist, job{key, bf})
+		}
+	}
+	push(p.Query.Key(), goalAd)
+
+	var seedArgs []ast.Term
+	for i, t := range p.Query.Args {
+		if goalAd[i] == 'b' {
+			seedArgs = append(seedArgs, t)
+		}
+	}
+	qAtomName := name(p.Query, goalAd)
+	seed := ast.NewRule(ast.NewAtom(magicName(qAtomName, goalAd), seedArgs...))
+	out.Rules = append(out.Rules, seed)
+	out.Derived[seed.Head.Key()] = true
+
+	addRule := func(r ast.Rule) {
+		out.Rules = append(out.Rules, r)
+		out.Derived[r.Head.Key()] = true
+	}
+
+	ruleSeq := 0
+	for len(worklist) > 0 {
+		j := worklist[0]
+		worklist = worklist[1:]
+		for _, r := range p.Rules {
+			if r.Head.Key() != j.key {
+				continue
+			}
+			ruleSeq++
+			calls := rewriteRuleSupplementary(p, r, j.bf, ruleSeq, name, addRule)
+			for _, c := range calls {
+				push(c.key, c.bf)
+			}
+		}
+	}
+
+	goal := p.Query.Clone()
+	goal.Pred = qAtomName
+	goal.Adornment = ""
+	out.Query = goal
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("magic: supplementary rewrite produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+func rewriteRuleSupplementary(p *ast.Program, r ast.Rule, headBF ast.Adornment,
+	ruleSeq int, name func(ast.Atom, ast.Adornment) string,
+	addRule func(ast.Rule)) []call {
+
+	headName := name(r.Head, headBF)
+	bound := map[string]bool{}
+	var boundHeadArgs []ast.Term
+	for i, t := range r.Head.Args {
+		if headBF[i] == 'b' {
+			if t.Kind == ast.Variable {
+				bound[t.Name] = true
+			}
+			boundHeadArgs = append(boundHeadArgs, t)
+		}
+	}
+
+	// varsNeededAfter[i] = variables used by literals i..n-1 or the head.
+	neededAfter := make([]map[string]bool, len(r.Body)+1)
+	neededAfter[len(r.Body)] = map[string]bool{}
+	for _, t := range r.Head.Args {
+		if t.Kind == ast.Variable && !t.IsAnon() {
+			neededAfter[len(r.Body)][t.Name] = true
+		}
+	}
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		m := map[string]bool{}
+		for v := range neededAfter[i+1] {
+			m[v] = true
+		}
+		for _, t := range r.Body[i].Args {
+			if t.Kind == ast.Variable && !t.IsAnon() {
+				m[t.Name] = true
+			}
+		}
+		neededAfter[i] = m
+	}
+
+	guard := ast.NewAtom(magicName(headName, headBF), append([]ast.Term(nil), boundHeadArgs...)...)
+	var pending []ast.Atom // base literals since the last supplementary
+	var calls []call
+	supN := 0
+
+	for i, b := range r.Body {
+		if !p.Derived[b.Key()] {
+			pending = append(pending, b.Clone())
+			for _, t := range b.Args {
+				if t.Kind == ast.Variable {
+					bound[t.Name] = true
+				}
+			}
+			continue
+		}
+		var bf strings.Builder
+		var boundArgs []ast.Term
+		for _, t := range b.Args {
+			if t.Kind == ast.Constant || (t.Kind == ast.Variable && bound[t.Name]) {
+				bf.WriteByte('b')
+				boundArgs = append(boundArgs, t)
+			} else {
+				bf.WriteByte('f')
+			}
+		}
+		callBF := ast.Adornment(bf.String())
+		callName := name(b, callBF)
+		// Magic rule for the call, from the current guard.
+		addRule(ast.Rule{
+			Head: ast.NewAtom(magicName(callName, callBF), boundArgs...),
+			Body: append([]ast.Atom{guard.Clone()}, cloneAtoms(pending)...),
+		})
+		calls = append(calls, call{b.Key(), callBF})
+		// Supplementary predicate carrying the variables still needed.
+		rewritten := ast.Atom{Pred: callName, Args: cloneTerms(b.Args)}
+		for _, t := range b.Args {
+			if t.Kind == ast.Variable {
+				bound[t.Name] = true
+			}
+		}
+		supN++
+		supVars := supVariables(guard, pending, rewritten, bound, neededAfter[i+1])
+		sup := ast.NewAtom(fmt.Sprintf("sup_%s_%d_%d", headName, ruleSeq, supN), supVars...)
+		addRule(ast.Rule{
+			Head: sup,
+			Body: append(append([]ast.Atom{guard.Clone()}, cloneAtoms(pending)...), rewritten),
+		})
+		guard = sup
+		pending = nil
+	}
+
+	addRule(ast.Rule{
+		Head: ast.Atom{Pred: headName, Args: cloneTerms(r.Head.Args)},
+		Body: append([]ast.Atom{guard.Clone()}, cloneAtoms(pending)...),
+	})
+	return calls
+}
+
+// supVariables selects, in deterministic order, the variables bound by the
+// prefix (guard + pending + the rewritten call) that are needed later.
+func supVariables(guard ast.Atom, pending []ast.Atom, callAtom ast.Atom,
+	bound map[string]bool, needed map[string]bool) []ast.Term {
+	avail := map[string]bool{}
+	collect := func(a ast.Atom) {
+		for _, t := range a.Args {
+			if t.Kind == ast.Variable && !t.IsAnon() {
+				avail[t.Name] = true
+			}
+		}
+	}
+	collect(guard)
+	for _, a := range pending {
+		collect(a)
+	}
+	collect(callAtom)
+	var names []string
+	for v := range avail {
+		if needed[v] && bound[v] {
+			names = append(names, v)
+		}
+	}
+	sort.Strings(names)
+	out := make([]ast.Term, len(names))
+	for i, v := range names {
+		out[i] = ast.V(v)
+	}
+	return out
+}

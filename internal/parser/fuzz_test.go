@@ -1,0 +1,44 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that accepted programs
+// survive a print/re-parse round trip. Run the stored corpus in normal
+// test mode; extend with `go test -fuzz FuzzParse ./internal/parser`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"query(X) :- a(X,Y).\na(X,Y) :- p(X,Z), a(Z,Y).\n?- query(X).",
+		"p(1,2). p(2,3).",
+		"a@nd(X) :- p(X,Y).\n?- a@nd(X).",
+		"b2 :- q3(U,V), q4(V).",
+		"x(X) :- y(X), not z(X).\n?- x(X).",
+		"% comment\np('quo ted',3).",
+		"?- q(_,_).",
+		"p(X) :- q(X,",
+		":- p(X).",
+		"p@@(X) :- q(X).",
+		"not(X) :- q(X).",
+		"p(X) :- not not q(X).",
+		strings.Repeat("p(X) :- q(X).\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := res.Program.String()
+		res2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted program does not re-parse: %v\nprogram:\n%s", err, printed)
+		}
+		if res2.Program.String() != printed {
+			t.Fatalf("print/re-parse not stable:\n%s\nvs\n%s", printed, res2.Program.String())
+		}
+	})
+}

@@ -1,0 +1,203 @@
+// Package parser implements the textual Datalog format used throughout the
+// repository.
+//
+// Grammar (EBNF):
+//
+//	program   = { clause } ;
+//	clause    = rule | fact | query ;
+//	rule      = atom ":-" atom { "," atom } "." ;
+//	fact      = atom "." ;                      (ground; collected separately)
+//	query     = "?-" atom "." ;
+//	atom      = predicate [ "(" term { "," term } ")" ] ;
+//	predicate = lident [ "@" adornment ] ;
+//	term      = uident | "_" | lident | integer | quoted ;
+//	adornment = { "n" | "d" | "b" | "f" } ;
+//
+// Identifiers beginning with an upper-case letter (or "_") are variables;
+// lower-case identifiers, integers, and single-quoted strings are
+// constants. "%" starts a comment that runs to end of line. The "@nd"
+// suffix is the machine-readable form of the paper's superscript
+// adornments (p^nd is written p@nd).
+package parser
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokLIdent
+	tokUIdent // variable (upper-case or underscore initial)
+	tokInt
+	tokQuoted
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // :-
+	tokQuery   // ?-
+	tokAt
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokLIdent:
+		return "identifier"
+	case tokUIdent:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokQuoted:
+		return "quoted constant"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokQuery:
+		return "'?-'"
+	case tokAt:
+		return "'@'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '\''
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case r == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case r == '.':
+		l.advance()
+		return token{tokDot, ".", line, col}, nil
+	case r == '@':
+		l.advance()
+		return token{tokAt, "@", line, col}, nil
+	case r == ':':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected ':-', found ':%c'", l.peek())
+		}
+		l.advance()
+		return token{tokImplies, ":-", line, col}, nil
+	case r == '?':
+		l.advance()
+		if l.peek() != '-' {
+			return token{}, l.errorf(line, col, "expected '?-', found '?%c'", l.peek())
+		}
+		l.advance()
+		return token{tokQuery, "?-", line, col}, nil
+	case r == '\'':
+		l.advance()
+		var text []rune
+		for l.pos < len(l.src) && l.peek() != '\'' {
+			text = append(text, l.advance())
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(line, col, "unterminated quoted constant")
+		}
+		l.advance() // closing quote
+		return token{tokQuoted, string(text), line, col}, nil
+	case unicode.IsDigit(r):
+		var text []rune
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			text = append(text, l.advance())
+		}
+		return token{tokInt, string(text), line, col}, nil
+	case unicode.IsLetter(r) || r == '_':
+		var text []rune
+		for l.pos < len(l.src) && isIdentRune(l.peek()) && l.peek() != '\'' {
+			text = append(text, l.advance())
+		}
+		kind := tokLIdent
+		if unicode.IsUpper(rune(text[0])) || text[0] == '_' {
+			kind = tokUIdent
+		}
+		return token{kind, string(text), line, col}, nil
+	}
+	return token{}, l.errorf(line, col, "unexpected character %q", r)
+}

@@ -1,0 +1,230 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"existdlog/internal/ast"
+)
+
+// Result is the outcome of parsing a source text: the program (rules plus
+// optional query goal) and any ground facts, which form the extensional
+// database and are kept out of the Program per the paper's convention.
+type Result struct {
+	Program *ast.Program
+	Facts   []ast.Atom
+}
+
+type parser struct {
+	lex   *lexer
+	tok   token
+	anonN int
+}
+
+// Parse parses a Datalog source text. It returns an error with line:column
+// position on malformed input. The resulting program has its Derived set
+// computed from rule heads; facts for predicates that also have rules are
+// rejected (the IDB must contain no facts).
+func Parse(src string) (*Result, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	res := &Result{Program: ast.NewProgram(ast.Atom{})}
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokQuery {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			goal, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokDot); err != nil {
+				return nil, err
+			}
+			if res.Program.Query.Pred != "" {
+				return nil, fmt.Errorf("multiple query goals (second at %d:%d)", p.tok.line, p.tok.col)
+			}
+			if goal.Negated {
+				return nil, fmt.Errorf("negated query goal %s", goal)
+			}
+			res.Program.Query = goal
+			continue
+		}
+		head, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		switch p.tok.kind {
+		case tokDot:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if !head.IsGround() {
+				return nil, fmt.Errorf("fact %s is not ground", head)
+			}
+			if head.Negated {
+				return nil, fmt.Errorf("negated fact %s", head)
+			}
+			res.Facts = append(res.Facts, head)
+		case tokImplies:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var body []ast.Atom
+			for {
+				b, err := p.atom()
+				if err != nil {
+					return nil, err
+				}
+				body = append(body, b)
+				if p.tok.kind == tokComma {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expect(tokDot); err != nil {
+				return nil, err
+			}
+			res.Program.Rules = append(res.Program.Rules, ast.NewRule(head, body...))
+			res.Program.Derived[head.Key()] = true
+		default:
+			return nil, fmt.Errorf("%d:%d: expected '.' or ':-' after %s, found %s",
+				p.tok.line, p.tok.col, head, p.tok.kind)
+		}
+	}
+	for _, f := range res.Facts {
+		if res.Program.Derived[f.Key()] {
+			return nil, fmt.Errorf("fact %s for derived predicate %s: the IDB must contain no facts", f, f.Key())
+		}
+	}
+	if err := res.Program.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ParseProgram is a convenience wrapper for sources without facts.
+func ParseProgram(src string) (*ast.Program, error) {
+	res, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Facts) > 0 {
+		return nil, fmt.Errorf("unexpected fact %s in program-only source", res.Facts[0])
+	}
+	return res.Program, nil
+}
+
+// MustParseProgram panics on error; for tests and examples with literal
+// sources.
+func MustParseProgram(src string) *ast.Program {
+	p, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) error {
+	if p.tok.kind != k {
+		return fmt.Errorf("%d:%d: expected %s, found %s %q", p.tok.line, p.tok.col, k, p.tok.kind, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	if p.tok.kind != tokLIdent {
+		return ast.Atom{}, fmt.Errorf("%d:%d: expected predicate name, found %s %q",
+			p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+	}
+	a := ast.Atom{Pred: p.tok.text}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	// "not" followed by another identifier is a negated literal;
+	// "not(...)" remains an ordinary predicate named not.
+	if a.Pred == "not" && p.tok.kind == tokLIdent {
+		a.Pred = p.tok.text
+		a.Negated = true
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+	}
+	if p.tok.kind == tokAt {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		if p.tok.kind != tokLIdent {
+			return ast.Atom{}, fmt.Errorf("%d:%d: expected adornment after '@'", p.tok.line, p.tok.col)
+		}
+		a.Adornment = ast.Adornment(p.tok.text)
+		if !a.Adornment.Valid() {
+			return ast.Atom{}, fmt.Errorf("%d:%d: invalid adornment %q", p.tok.line, p.tok.col, p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+	}
+	if p.tok.kind != tokLParen {
+		return a, nil // arity-0 (boolean) atom
+	}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) term() (ast.Term, error) {
+	switch p.tok.kind {
+	case tokUIdent:
+		name := p.tok.text
+		if name == "_" {
+			// Each bare underscore is a distinct anonymous variable.
+			p.anonN++
+			name = "_G" + strconv.Itoa(p.anonN)
+		}
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.V(name), nil
+	case tokLIdent, tokInt, tokQuoted:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return ast.Term{}, err
+		}
+		return ast.C(name), nil
+	}
+	return ast.Term{}, fmt.Errorf("%d:%d: expected term, found %s %q",
+		p.tok.line, p.tok.col, p.tok.kind, p.tok.text)
+}

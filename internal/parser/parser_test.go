@@ -1,0 +1,179 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"existdlog/internal/ast"
+)
+
+func TestParseExample1(t *testing.T) {
+	// Example 1 of the paper (original program).
+	src := `
+% Example 1: original program
+query(X) :- a(X,Y).
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- query(X).
+`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Program
+	if len(p.Rules) != 3 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	if p.Query.String() != "query(X)" {
+		t.Errorf("query = %s", p.Query)
+	}
+	if !p.IsDerived("a") || !p.IsDerived("query") || p.IsDerived("p") {
+		t.Errorf("derived = %v", p.Derived)
+	}
+	if got := p.Rules[1].String(); got != "a(X,Y) :- p(X,Z), a(Z,Y)." {
+		t.Errorf("rule 2 = %q", got)
+	}
+}
+
+func TestParseAdornments(t *testing.T) {
+	p, err := ParseProgram(`
+a@nd(X) :- p(X,Z), a@nd(Z).
+a@nd(X) :- p(X,Z).
+?- a@nd(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Key() != "a@nd" {
+		t.Errorf("head key = %q", p.Rules[0].Head.Key())
+	}
+	if p.Rules[0].Body[1].Adornment != "nd" {
+		t.Errorf("body adornment = %q", p.Rules[0].Body[1].Adornment)
+	}
+}
+
+func TestParseFacts(t *testing.T) {
+	res, err := Parse(`
+p(X) :- e(X,Y).
+e(1,2).
+e(2,3).
+e('node a','node b').
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Facts) != 3 {
+		t.Fatalf("got %d facts", len(res.Facts))
+	}
+	if res.Facts[2].Args[0] != ast.C("node a") {
+		t.Errorf("quoted constant = %v", res.Facts[2].Args[0])
+	}
+}
+
+func TestParseAnonymousVariablesAreDistinct(t *testing.T) {
+	p, err := ParseProgram(`p(X) :- e(X,_), f(_).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Rules[0].Body[0].Args[1]
+	b := p.Rules[0].Body[1].Args[0]
+	if a == b {
+		t.Errorf("anonymous variables must be distinct, both %v", a)
+	}
+	if !a.IsAnon() || !b.IsAnon() {
+		t.Error("underscore should parse as anonymous variable")
+	}
+}
+
+func TestParseBooleanAtom(t *testing.T) {
+	p, err := ParseProgram(`
+b2 :- q3(Z,V), q4(V).
+p(X) :- q1(X,Y), b2.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Head.Arity() != 0 {
+		t.Errorf("boolean head arity = %d", p.Rules[0].Head.Arity())
+	}
+	if p.Rules[1].Body[1].Key() != "b2" {
+		t.Errorf("boolean body key = %q", p.Rules[1].Body[1].Key())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`p(X) :- e(X,Y)`, "expected"},                     // missing dot
+		{`p(X).`, "not ground"},                            // non-ground fact
+		{`p(X) :- e(X). p(1,2).`, "IDB must contain no"},   // fact for derived
+		{`p(X) :- e(X,Y). ?- p(X). ?- p(Y).`, "multiple"},  // two queries
+		{`p@xy(X) :- e(X,Y).`, "adornment"},                // bad adornment
+		{`p(X) :- e(X,Y), .`, "expected predicate"},        // dangling comma
+		{`P(X) :- e(X,Y).`, "expected predicate"},          // uppercase predicate
+		{`p(X) :- e(X,'oops.`, "unterminated"},             // open quote
+		{`p(X,Y) :- e(X,Z).`, "head variable Y not bound"}, // unsafe rule
+		{`p(X) :- e(X,Y). p(X,Y) :- e(X,Y).`, "arities"},   // arity clash
+		{`p(X) : e(X,Y).`, "expected ':-'"},                // bad implies
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got nil", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p, err := ParseProgram(`
+% leading comment
+p(X) :- e(X,Y). % trailing comment
+% only a comment line
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 1 {
+		t.Errorf("got %d rules", len(p.Rules))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `a@nd(X) :- p(X,Z), a@nd(Z).
+a@nd(X) :- p(X,Z).
+b2 :- q3(U,V), q4(V).
+?- a@nd(X).
+`
+	p, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := p.String()
+	p2, err := ParseProgram(printed)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", printed, err)
+	}
+	if p2.String() != printed {
+		t.Errorf("round trip changed program:\n%s\nvs\n%s", printed, p2.String())
+	}
+}
+
+func TestParseIntegersAndPositions(t *testing.T) {
+	res, err := Parse("e(1,22).\ne(307,4).\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Facts[0].Args[1] != ast.C("22") {
+		t.Errorf("integer constant = %v", res.Facts[0].Args[1])
+	}
+	_, err = Parse("e(1,2).\n  e(3,!).\n")
+	if err == nil || !strings.Contains(err.Error(), "2:") {
+		t.Errorf("expected line-2 position in error, got %v", err)
+	}
+}

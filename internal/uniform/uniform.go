@@ -1,0 +1,271 @@
+// Package uniform implements the equivalence machinery of Sections 3.3-5
+// of the paper:
+//
+//   - Sagiv's decidable test for uniform equivalence / containment of
+//     Datalog programs (freeze a rule's body into fresh constants, run the
+//     other program on the frozen facts — derived predicates included, as
+//     uniform equivalence places no restriction on the input instance —
+//     and check whether the frozen head is derived), used for rule
+//     deletion as in Example 4;
+//
+//   - optimistic derivations and the Theorem 5.2 sufficient condition for
+//     uniform *query* equivalence. The paper leaves the grounding domain
+//     of optimistic derivations unspecified; a literal reading over the
+//     whole active domain makes the optimistic answer blow up to near-
+//     everything and the test vacuous, so OptimisticDeletionSafe
+//     implements the documented variant in which a derivation step must
+//     ground the head through the matched known fact (plus program
+//     constants). See DESIGN.md ("Substitutions"). The variant reproduces
+//     Example 6; the summary tests of the deletion package remain the
+//     primary, exactly-specified machinery.
+package uniform
+
+import (
+	"fmt"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+)
+
+// evalOpts bounds the fixpoint runs used by the tests; frozen databases
+// are tiny, so generous limits never bite in practice but keep adversarial
+// inputs from hanging the compiler.
+var evalOpts = engine.Options{MaxIterations: 100000, MaxFacts: 2_000_000}
+
+// freezeBody loads the frozen body of rule r into a fresh database and
+// returns it with the frozen head. Rules with negated literals are
+// rejected: freezing would turn the negation into a positive fact, and the
+// uniform-equivalence theory here is for positive programs.
+func freezeBody(r ast.Rule) (*engine.Database, ast.Atom, error) {
+	db := engine.NewDatabase()
+	for _, b := range r.Body {
+		if b.Negated {
+			return nil, ast.Atom{}, fmt.Errorf("uniform: rule %s has negation; the uniform-equivalence tests are defined for positive programs", r)
+		}
+	}
+	frozen, _ := ast.Freeze(r, "$f")
+	for _, b := range frozen.Body {
+		if err := db.AddAtom(b); err != nil {
+			return nil, ast.Atom{}, err
+		}
+	}
+	return db, frozen.Head, nil
+}
+
+// Derives reports whether program p, run on the frozen body of rule r
+// (derived predicates seeded as given), derives r's frozen head. This is
+// the core of Sagiv's uniform containment test.
+func Derives(p *ast.Program, r ast.Rule) (bool, error) {
+	if p.HasNegation() {
+		return false, fmt.Errorf("uniform: program has negation; the uniform-equivalence tests are defined for positive programs")
+	}
+	db, head, err := freezeBody(r)
+	if err != nil {
+		return false, err
+	}
+	res, err := engine.Eval(p, db, evalOpts)
+	if err != nil {
+		return false, err
+	}
+	return containsAtom(res.DB, head), nil
+}
+
+func containsAtom(db *engine.Database, a ast.Atom) bool {
+	rel, ok := db.Lookup(a.Key())
+	if !ok || rel.Arity() != a.Arity() {
+		return false
+	}
+	t := make(engine.Tuple, a.Arity())
+	for i, arg := range a.Args {
+		id, ok := db.Syms.Lookup(arg.Name)
+		if !ok {
+			return false
+		}
+		t[i] = id
+	}
+	return rel.Contains(t)
+}
+
+// Contained reports whether p1 is uniformly contained in p2: for every
+// database instance (derived predicates included), lfp(p1) ⊆ lfp(p2).
+// By Sagiv's theorem it suffices that p2 derives every rule of p1 from its
+// frozen body.
+func Contained(p1, p2 *ast.Program) (bool, error) {
+	for _, r := range p1.Rules {
+		ok, err := Derives(p2, r)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Equivalent reports uniform equivalence: containment in both directions.
+func Equivalent(p1, p2 *ast.Program) (bool, error) {
+	ok, err := Contained(p1, p2)
+	if err != nil || !ok {
+		return ok, err
+	}
+	return Contained(p2, p1)
+}
+
+// RuleRedundant reports whether rule ri may be deleted from p while
+// preserving uniform equivalence: the program without the rule must derive
+// the rule's frozen head from its frozen body (Example 4 of the paper).
+func RuleRedundant(p *ast.Program, ri int) (bool, error) {
+	if ri < 0 || ri >= len(p.Rules) {
+		return false, fmt.Errorf("uniform: rule index %d out of range", ri)
+	}
+	rest := p.Clone()
+	rest.Rules = append(rest.Rules[:ri:ri], rest.Rules[ri+1:]...)
+	return Derives(rest, p.Rules[ri])
+}
+
+// LiteralRedundant reports whether literal li of rule ri may be deleted
+// while preserving uniform equivalence (Theorem 3.4 concerns deleting
+// literals as well as rules; Sagiv's test decides the uniform case).
+// Removing a literal only weakens the rule, so the relaxed program always
+// contains the original; equivalence needs the converse: the original
+// program must derive the weakened rule — freeze the remaining body and
+// check the head. Removing the last literal is rejected (it would turn the
+// rule into an unrestricted fact generator).
+func LiteralRedundant(p *ast.Program, ri, li int) (bool, error) {
+	if ri < 0 || ri >= len(p.Rules) {
+		return false, fmt.Errorf("uniform: rule index %d out of range", ri)
+	}
+	r := p.Rules[ri]
+	if li < 0 || li >= len(r.Body) {
+		return false, fmt.Errorf("uniform: literal index %d out of range", li)
+	}
+	if len(r.Body) == 1 {
+		return false, nil
+	}
+	weak := r.Clone()
+	weak.Body = append(weak.Body[:li:li], weak.Body[li+1:]...)
+	// The weakened rule must stay range-restricted.
+	bound := map[string]bool{}
+	for _, b := range weak.Body {
+		for _, t := range b.Args {
+			if t.Kind == ast.Variable {
+				bound[t.Name] = true
+			}
+		}
+	}
+	for _, t := range weak.Head.Args {
+		if t.Kind == ast.Variable && !t.IsAnon() && !bound[t.Name] {
+			return false, nil
+		}
+	}
+	return Derives(p, weak)
+}
+
+// OptimisticAnswer computes the optimistic answer of Theorem 5.2 for the
+// query predicate over the given database, under the grounded variant: a
+// rule fires optimistically when one body literal matches a known fact and
+// the substitution this induces (constants in the rule included) grounds
+// the head; the remaining body literals are assumed. The returned database
+// holds all optimistically known facts.
+func OptimisticAnswer(p *ast.Program, edb *engine.Database) (*engine.Database, error) {
+	// Work symbolically over atoms; the databases involved are tiny
+	// (frozen rule bodies).
+	known := make(map[string]ast.Atom)
+	var queue []ast.Atom
+	add := func(a ast.Atom) {
+		k := a.String()
+		if _, ok := known[k]; !ok {
+			known[k] = a
+			queue = append(queue, a)
+		}
+	}
+	for _, key := range edb.Keys() {
+		rel, _ := edb.Lookup(key)
+		pred, adn := splitKey(key)
+		for _, t := range rel.Tuples() {
+			args := make([]ast.Term, len(t))
+			for i, id := range t {
+				args[i] = ast.C(edb.Syms.Name(id))
+			}
+			add(ast.Atom{Pred: pred, Adornment: ast.Adornment(adn), Args: args})
+		}
+	}
+	const maxKnown = 200000
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for ri, r := range p.Rules {
+			rr := ast.RenameApart(r, fmt.Sprintf("$o%d", ri))
+			for _, b := range rr.Body {
+				s, ok := ast.MatchGround(b, f, nil)
+				if !ok {
+					continue
+				}
+				head := s.ApplyAtom(rr.Head)
+				if head.IsGround() {
+					add(head)
+				}
+			}
+		}
+		if len(known) > maxKnown {
+			return nil, fmt.Errorf("uniform: optimistic derivation exceeded %d facts", maxKnown)
+		}
+	}
+	out := engine.NewDatabase()
+	for _, a := range known {
+		if err := out.AddAtom(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func splitKey(key string) (pred, adn string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '@' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
+
+// OptimisticDeletionSafe is the Theorem 5.2 sufficient test (grounded
+// variant) for deleting rule ri while preserving uniform query
+// equivalence: with EDB1 the frozen body of the rule, the optimistic
+// answer of the full program for the query predicate must be contained in
+// the (non-optimistic) answer of the program without the rule.
+func OptimisticDeletionSafe(p *ast.Program, ri int) (bool, error) {
+	if ri < 0 || ri >= len(p.Rules) {
+		return false, fmt.Errorf("uniform: rule index %d out of range", ri)
+	}
+	db, _, err := freezeBody(p.Rules[ri])
+	if err != nil {
+		return false, err
+	}
+	opt, err := OptimisticAnswer(p, db)
+	if err != nil {
+		return false, err
+	}
+	rest := p.Clone()
+	rest.Rules = append(rest.Rules[:ri:ri], rest.Rules[ri+1:]...)
+	res, err := engine.Eval(rest, db, evalOpts)
+	if err != nil {
+		return false, err
+	}
+	qk := p.Query.Key()
+	optRel, ok := opt.Lookup(qk)
+	if !ok {
+		return true, nil
+	}
+	for _, t := range optRel.Tuples() {
+		row := make([]ast.Term, len(t))
+		for i, id := range t {
+			row[i] = ast.C(opt.Syms.Name(id))
+		}
+		if !containsAtom(res.DB, ast.Atom{Pred: p.Query.Pred, Adornment: p.Query.Adornment, Args: row}) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

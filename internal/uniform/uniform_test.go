@@ -1,0 +1,301 @@
+package uniform
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+	"existdlog/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// Example 4 of the paper: the recursive rule of the projected transitive
+// closure is uniformly redundant.
+func TestRuleRedundantExample4(t *testing.T) {
+	p := mustParse(t, `
+a@nd(X) :- p(X,Z), a@nd(Z).
+a@nd(X) :- p(X,Z).
+?- a@nd(X).
+`)
+	ok, err := RuleRedundant(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("recursive rule should be uniformly redundant")
+	}
+	ok, err = RuleRedundant(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("exit rule must not be redundant")
+	}
+}
+
+// Left- and right-linear transitive closure compute the same query on
+// every ordinary (empty-IDB) database, yet they are NOT uniformly
+// equivalent: with a seeded `a` fact their fixpoints differ. This is the
+// gap between uniform and query equivalence that motivates Section 4 of
+// the paper.
+func TestLinearTCNotUniformlyEquivalent(t *testing.T) {
+	left := mustParse(t, `
+a(X,Y) :- a(X,Z), p(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	right := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	ok, err := Equivalent(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("left- and right-linear TC must not be uniformly equivalent")
+	}
+	// Each is uniformly equivalent to itself extended by a subsumed rule.
+	ext := left.Clone()
+	ext.Rules = append(ext.Rules, mustParse(t, `
+a(X,Y) :- p(X,Y), p(Y,Y).
+?- a(X,Y).
+`).Rules[0])
+	ok, err = Equivalent(left, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("adding a subsumed rule must preserve uniform equivalence")
+	}
+}
+
+func TestNotEquivalent(t *testing.T) {
+	tc := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	onlyBase := mustParse(t, `
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	ok, err := Equivalent(tc, onlyBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("TC is not uniformly equivalent to its exit rule")
+	}
+	// But containment holds one way.
+	ok, err = Contained(onlyBase, tc)
+	if err != nil || !ok {
+		t.Errorf("exit-only program should be contained in TC: ok=%v err=%v", ok, err)
+	}
+}
+
+// Uniform containment must imply query containment on arbitrary EDBs
+// (spot-checked by evaluation).
+func TestContainmentImpliesQueryContainment(t *testing.T) {
+	p1 := mustParse(t, `
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	p2 := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	ok, err := Contained(p1, p2)
+	if err != nil || !ok {
+		t.Fatalf("containment expected: %v %v", ok, err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		db := engine.NewDatabase()
+		for i := 0; i < 10; i++ {
+			db.Add("p", fmt.Sprint(rng.Intn(6)), fmt.Sprint(rng.Intn(6)))
+		}
+		r1, err := engine.Eval(p1, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := engine.Eval(p2, db, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range r1.Answers(p1.Query) {
+			found := false
+			for _, row2 := range r2.Answers(p2.Query) {
+				if fmt.Sprint(row) == fmt.Sprint(row2) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("answer %v of p1 missing from p2", row)
+			}
+		}
+	}
+}
+
+// Example 5: uniform equivalence cannot delete any rule of the two-version
+// program (also covered in the deletion package; this exercises the raw
+// test).
+func TestExample5NoRedundantRules(t *testing.T) {
+	p := mustParse(t, `
+a@nd(X) :- a@nn(X,Z), p(Z,Y).
+a@nd(X) :- p(X,Y).
+a@nn(X,Y) :- a@nn(X,Z), p(Z,Y).
+a@nn(X,Y) :- p(X,Y).
+?- a@nd(X).
+`)
+	for ri := range p.Rules {
+		ok, err := RuleRedundant(p, ri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Errorf("rule %d unexpectedly redundant", ri+1)
+		}
+	}
+}
+
+// Example 6 under the grounded optimistic test (Theorem 5.2 variant): the
+// recursive a@nn rule and the a@nn exit rule are deletable.
+func TestOptimisticDeletionExample6(t *testing.T) {
+	p := mustParse(t, `
+a@nd(X) :- a@nn(X,Z), p(Z,Y).
+a@nd(X) :- p(X,Y).
+a@nn(X,Y) :- a@nn(X,Z), p(Z,Y).
+a@nn(X,Y) :- p(X,Y).
+?- a@nd(X).
+`)
+	ok, err := OptimisticDeletionSafe(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("Theorem 5.2 variant should allow deleting the recursive a@nn rule")
+	}
+	// Deleting the a@nd exit rule must be blocked: a@nd(x) would be lost.
+	ok, err = OptimisticDeletionSafe(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("deleting the a@nd exit rule must be blocked")
+	}
+}
+
+func TestOptimisticAnswerGrounding(t *testing.T) {
+	// Heads that cannot be grounded through the matched fact are not
+	// derived optimistically.
+	p := mustParse(t, `
+q(X,Y) :- h(X), s(Y).
+h(X) :- e(X).
+?- q(X,Y).
+`)
+	db := engine.NewDatabase()
+	db.Add("e", "1")
+	opt, err := OptimisticAnswer(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Count("q") != 0 {
+		t.Errorf("q should not be optimistically derivable: %v", opt.Facts("q"))
+	}
+	if opt.Count("h") != 1 {
+		t.Errorf("h should be optimistically derived: %v", opt.Facts("h"))
+	}
+}
+
+func TestRuleRedundantIndexErrors(t *testing.T) {
+	p := mustParse(t, `a(X) :- p(X).
+?- a(X).`)
+	if _, err := RuleRedundant(p, -1); err == nil {
+		t.Error("negative index should error")
+	}
+	if _, err := RuleRedundant(p, 5); err == nil {
+		t.Error("out-of-range index should error")
+	}
+}
+
+// Freezing must treat adorned predicates as distinct relations: a@nn facts
+// must not leak into a@nd.
+func TestFreezeRespectsAdornment(t *testing.T) {
+	p := mustParse(t, `
+a@nd(X) :- a@nn(X,Y).
+a@nn(X,Y) :- p(X,Y).
+?- a@nd(X).
+`)
+	ok, err := Derives(p, ast.NewRule(
+		ast.Atom{Pred: "a", Adornment: "nd", Args: []ast.Term{ast.V("X")}},
+		ast.NewAdorned("a", "nn", ast.V("X"), ast.V("Y")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the unit rule itself should be derivable")
+	}
+	ok, err = Derives(p, ast.NewRule(
+		ast.Atom{Pred: "a", Adornment: "nd", Args: []ast.Term{ast.V("X")}},
+		ast.NewAtom("p0", ast.V("X"), ast.V("Y")),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("a@nd must not be derivable from an unrelated base relation")
+	}
+}
+
+// The uniform-equivalence machinery refuses programs with negation (the
+// freeze argument is only valid for positive programs).
+func TestUniformRejectsNegation(t *testing.T) {
+	p := mustParse(t, `
+a(X) :- b(X), not c(X).
+c(X) :- d(X).
+?- a(X).
+`)
+	if _, err := RuleRedundant(p, 0); err == nil {
+		t.Error("negation must be rejected")
+	}
+	if _, err := Equivalent(p, p); err == nil {
+		t.Error("negation must be rejected in Equivalent")
+	}
+	if _, err := LiteralRedundant(p, 0, 0); err == nil {
+		t.Error("negation must be rejected in LiteralRedundant")
+	}
+}
+
+func TestContainedFalse(t *testing.T) {
+	tc := mustParse(t, `
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	other := mustParse(t, `
+a(X,Y) :- q(X,Y).
+?- a(X,Y).
+`)
+	ok, err := Contained(tc, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("TC over p is not contained in copy-of-q")
+	}
+}

@@ -1,0 +1,132 @@
+// Package workload provides deterministic (seeded) extensional-database
+// generators for the experiment suite: chains, cycles, trees, grids,
+// random digraphs, layered DAGs, forests, and same-generation towers —
+// the synthetic relations the Bancilhon–Ramakrishnan performance study
+// (which the paper cites for its performance claims) evaluates recursive
+// query strategies on.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"existdlog/internal/engine"
+)
+
+// Chain adds a path 0 → 1 → ... → n labeled rel.
+func Chain(db *engine.Database, rel string, n int) {
+	for i := 0; i < n; i++ {
+		db.Add(rel, node(i), node(i+1))
+	}
+}
+
+// Cycle adds a directed cycle over n nodes.
+func Cycle(db *engine.Database, rel string, n int) {
+	for i := 0; i < n; i++ {
+		db.Add(rel, node(i), node((i+1)%n))
+	}
+}
+
+// ChainForest adds `chains` disjoint paths of length n each; nodes are
+// named c<k>x<i>.
+func ChainForest(db *engine.Database, rel string, chains, n int) {
+	for c := 0; c < chains; c++ {
+		for i := 0; i < n; i++ {
+			db.Add(rel, forestNode(c, i), forestNode(c, i+1))
+		}
+	}
+}
+
+// ForestNode names node i of chain c in a ChainForest.
+func ForestNode(c, i int) string { return forestNode(c, i) }
+
+// BinaryTree adds parent→child edges of a complete binary tree with the
+// given number of levels (level 0 is the root, node 0).
+func BinaryTree(db *engine.Database, rel string, levels int) {
+	total := 1<<uint(levels) - 1
+	for i := 0; 2*i+2 < total+1; i++ {
+		if 2*i+1 < total {
+			db.Add(rel, node(i), node(2*i+1))
+		}
+		if 2*i+2 < total {
+			db.Add(rel, node(i), node(2*i+2))
+		}
+	}
+}
+
+// Grid adds right- and down-edges of an n×n grid; node (r,c) is named
+// g<r>_<c>.
+func Grid(db *engine.Database, rel string, n int) {
+	name := func(r, c int) string { return fmt.Sprintf("g%d_%d", r, c) }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				db.Add(rel, name(r, c), name(r, c+1))
+			}
+			if r+1 < n {
+				db.Add(rel, name(r, c), name(r+1, c))
+			}
+		}
+	}
+}
+
+// RandomDigraph adds m random edges over n nodes (self-loops and
+// duplicates possible; duplicates collapse in the relation).
+func RandomDigraph(db *engine.Database, rel string, n, m int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < m; i++ {
+		db.Add(rel, node(rng.Intn(n)), node(rng.Intn(n)))
+	}
+}
+
+// LayeredDAG adds edges between consecutive layers of the given width:
+// every node gets deg random successors in the next layer. Acyclic by
+// construction, which the counting rewrite requires.
+func LayeredDAG(db *engine.Database, rel string, layers, width, deg int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	name := func(l, i int) string { return fmt.Sprintf("l%dn%d", l, i) }
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			for d := 0; d < deg; d++ {
+				db.Add(rel, name(l, i), name(l+1, rng.Intn(width)))
+			}
+		}
+	}
+}
+
+// LayerNode names node i of layer l in a LayeredDAG.
+func LayerNode(l, i int) string { return fmt.Sprintf("l%dn%d", l, i) }
+
+// SameGenTowers adds `towers` disjoint same-generation towers of the
+// given depth: up edges climb the a-side, dn edges descend the b-side,
+// and flat edges cross at every level. Node names are t<k>a<i> / t<k>b<i>.
+func SameGenTowers(db *engine.Database, up, dn, flat string, depth, towers int) {
+	for t := 0; t < towers; t++ {
+		for i := 0; i < depth; i++ {
+			db.Add(up, towerNode(t, 'a', i), towerNode(t, 'a', i+1))
+			db.Add(dn, towerNode(t, 'b', i+1), towerNode(t, 'b', i))
+			db.Add(flat, towerNode(t, 'a', i), towerNode(t, 'b', i))
+		}
+		db.Add(flat, towerNode(t, 'a', depth), towerNode(t, 'b', depth))
+	}
+}
+
+// TowerNode names a node of a SameGenTowers database: side is 'a' or 'b'.
+func TowerNode(t int, side byte, i int) string { return towerNode(t, side, i) }
+
+// Relation populates an arbitrary relation with m random rows of the
+// given arity over an n-value column domain.
+func Relation(db *engine.Database, rel string, arity, n, m int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < m; i++ {
+		row := make([]string, arity)
+		for j := range row {
+			row[j] = node(rng.Intn(n))
+		}
+		db.Add(rel, row...)
+	}
+}
+
+func node(i int) string                     { return fmt.Sprint(i) }
+func forestNode(c, i int) string            { return fmt.Sprintf("c%dx%d", c, i) }
+func towerNode(t int, s byte, i int) string { return fmt.Sprintf("t%d%c%d", t, s, i) }

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"existdlog/internal/engine"
+)
+
+func TestChain(t *testing.T) {
+	db := engine.NewDatabase()
+	Chain(db, "e", 10)
+	if db.Count("e") != 10 {
+		t.Errorf("chain edges = %d", db.Count("e"))
+	}
+	facts := db.Facts("e")
+	if facts[0][0] != "0" || facts[0][1] != "1" {
+		t.Errorf("first edge = %v", facts[0])
+	}
+}
+
+func TestCycle(t *testing.T) {
+	db := engine.NewDatabase()
+	Cycle(db, "e", 7)
+	if db.Count("e") != 7 {
+		t.Errorf("cycle edges = %d", db.Count("e"))
+	}
+	// In-degree and out-degree 1 for every node.
+	out := map[string]int{}
+	in := map[string]int{}
+	for _, f := range db.Facts("e") {
+		out[f[0]]++
+		in[f[1]]++
+	}
+	for n, d := range out {
+		if d != 1 || in[n] != 1 {
+			t.Errorf("node %s: out=%d in=%d", n, d, in[n])
+		}
+	}
+}
+
+func TestChainForestDisjoint(t *testing.T) {
+	db := engine.NewDatabase()
+	ChainForest(db, "e", 3, 5)
+	if db.Count("e") != 15 {
+		t.Errorf("edges = %d", db.Count("e"))
+	}
+	for _, f := range db.Facts("e") {
+		if f[0][:2] != f[1][:2] {
+			t.Errorf("edge crosses chains: %v", f)
+		}
+	}
+	if ForestNode(2, 3) != "c2x3" {
+		t.Errorf("ForestNode = %s", ForestNode(2, 3))
+	}
+}
+
+func TestBinaryTree(t *testing.T) {
+	db := engine.NewDatabase()
+	BinaryTree(db, "e", 4) // 15 nodes, 14 edges
+	if db.Count("e") != 14 {
+		t.Errorf("tree edges = %d", db.Count("e"))
+	}
+	in := map[string]int{}
+	for _, f := range db.Facts("e") {
+		in[f[1]]++
+	}
+	for n, d := range in {
+		if d != 1 {
+			t.Errorf("node %s has in-degree %d", n, d)
+		}
+	}
+	if in["0"] != 0 {
+		t.Error("root should have no parent")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	db := engine.NewDatabase()
+	Grid(db, "e", 4)
+	// 2*n*(n-1) edges.
+	if db.Count("e") != 24 {
+		t.Errorf("grid edges = %d", db.Count("e"))
+	}
+}
+
+func TestRandomDigraphDeterministic(t *testing.T) {
+	a := engine.NewDatabase()
+	b := engine.NewDatabase()
+	RandomDigraph(a, "e", 20, 50, 42)
+	RandomDigraph(b, "e", 20, 50, 42)
+	if fmt.Sprint(a.Facts("e")) != fmt.Sprint(b.Facts("e")) {
+		t.Error("same seed must give the same graph")
+	}
+	c := engine.NewDatabase()
+	RandomDigraph(c, "e", 20, 50, 43)
+	if fmt.Sprint(a.Facts("e")) == fmt.Sprint(c.Facts("e")) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestLayeredDAGIsLayered(t *testing.T) {
+	db := engine.NewDatabase()
+	LayeredDAG(db, "e", 4, 5, 2, 1)
+	for _, f := range db.Facts("e") {
+		var l1, n1, l2, n2 int
+		if _, err := fmt.Sscanf(f[0], "l%dn%d", &l1, &n1); err != nil {
+			t.Fatalf("bad node %s", f[0])
+		}
+		if _, err := fmt.Sscanf(f[1], "l%dn%d", &l2, &n2); err != nil {
+			t.Fatalf("bad node %s", f[1])
+		}
+		if l2 != l1+1 {
+			t.Errorf("edge %v skips layers", f)
+		}
+	}
+	if LayerNode(2, 3) != "l2n3" {
+		t.Errorf("LayerNode = %s", LayerNode(2, 3))
+	}
+}
+
+func TestSameGenTowers(t *testing.T) {
+	db := engine.NewDatabase()
+	SameGenTowers(db, "up", "dn", "flat", 3, 2)
+	if db.Count("up") != 6 || db.Count("dn") != 6 || db.Count("flat") != 8 {
+		t.Errorf("counts: up=%d dn=%d flat=%d", db.Count("up"), db.Count("dn"), db.Count("flat"))
+	}
+	if TowerNode(1, 'a', 2) != "t1a2" {
+		t.Errorf("TowerNode = %s", TowerNode(1, 'a', 2))
+	}
+}
+
+func TestRelationArity(t *testing.T) {
+	db := engine.NewDatabase()
+	Relation(db, "r", 3, 10, 25, 9)
+	if got := db.Count("r"); got == 0 || got > 25 {
+		t.Errorf("relation rows = %d", got)
+	}
+	for _, f := range db.Facts("r") {
+		if len(f) != 3 {
+			t.Errorf("row arity = %d", len(f))
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"existdlog/internal/ast"
+)
+
+// InvariantReduction describes an applicable Example-12 transformation: an
+// argument position of a recursive predicate that is carried unchanged
+// through the recursion, consumed only by invariant check literals, and
+// existential at every use site outside the recursion. Projecting it out —
+// with the checks pushed down into the exit rules and use sites unfolded
+// for the check-free base case — reduces the arity of the recursive
+// predicate even though plain projection pushing cannot (Section 6 of the
+// paper).
+type InvariantReduction struct {
+	Base    string // base predicate name of the recursive family
+	Pos     int    // 0-based argument position to drop
+	NewPred string // name of the reduced predicate
+	Checks  []string
+}
+
+// FindInvariantReductions scans an adorned (unprojected) program for
+// argument positions to which ReduceInvariantArgument applies.
+func FindInvariantReductions(p *ast.Program) []InvariantReduction {
+	var out []InvariantReduction
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		base := r.Head.Pred
+		if seen[base] || r.Head.Adornment == "" {
+			continue
+		}
+		seen[base] = true
+		arity := r.Head.Arity()
+		for k := 0; k < arity; k++ {
+			if red, err := planReduction(p, base, k); err == nil {
+				out = append(out, *red)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Base != out[j].Base {
+			return out[i].Base < out[j].Base
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}
+
+// ReduceInvariantArgument applies the transformation for argument position
+// k (0-based) of the recursive predicate family with the given base name.
+// It returns an error if the preconditions do not hold.
+func ReduceInvariantArgument(p *ast.Program, base string, k int) (*ast.Program, error) {
+	if _, err := planReduction(p, base, k); err != nil {
+		return nil, err
+	}
+	return applyReduction(p, base, k)
+}
+
+type familyInfo struct {
+	keys      []string   // adorned version keys, sorted
+	rules     []ast.Rule // representative rules, adornments stripped
+	recursive []int      // indices into rules with a recursive occurrence
+	exits     []int
+	checks    map[int][]int // recursive rule index -> check literal indices
+}
+
+// stripFamily removes adornments from atoms of the family so versions can
+// be compared and a representative extracted.
+func stripFamily(r ast.Rule, base string) ast.Rule {
+	out := r.Clone()
+	if out.Head.Pred == base {
+		out.Head.Adornment = ""
+	}
+	for i := range out.Body {
+		if out.Body[i].Pred == base {
+			out.Body[i].Adornment = ""
+		}
+	}
+	return out
+}
+
+func familyOf(p *ast.Program, base string, k int) (*familyInfo, error) {
+	byVersion := map[string][]ast.Rule{}
+	for _, r := range p.Rules {
+		if r.Head.Pred == base {
+			byVersion[r.Head.Key()] = append(byVersion[r.Head.Key()], r)
+		}
+	}
+	if len(byVersion) == 0 {
+		return nil, fmt.Errorf("xform: no rules define %s", base)
+	}
+	fam := &familyInfo{checks: map[int][]int{}}
+	for key := range byVersion {
+		fam.keys = append(fam.keys, key)
+	}
+	sort.Strings(fam.keys)
+
+	// All versions must be adorned copies of the same original rules.
+	canon := func(rs []ast.Rule) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = stripFamily(r, base).String()
+		}
+		sort.Strings(out)
+		return out
+	}
+	ref := canon(byVersion[fam.keys[0]])
+	for _, key := range fam.keys[1:] {
+		got := canon(byVersion[key])
+		if len(got) != len(ref) {
+			return nil, fmt.Errorf("xform: versions %s and %s of %s differ structurally", fam.keys[0], key, base)
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				return nil, fmt.Errorf("xform: versions %s and %s of %s differ structurally", fam.keys[0], key, base)
+			}
+		}
+	}
+	for _, r := range byVersion[fam.keys[0]] {
+		fam.rules = append(fam.rules, stripFamily(r, base))
+	}
+
+	for ri, r := range fam.rules {
+		recOcc := -1
+		for bi, b := range r.Body {
+			if b.Pred != base {
+				continue
+			}
+			if recOcc >= 0 {
+				return nil, fmt.Errorf("xform: rule %s has multiple recursive occurrences", r)
+			}
+			recOcc = bi
+		}
+		if recOcc < 0 {
+			fam.exits = append(fam.exits, ri)
+			continue
+		}
+		fam.recursive = append(fam.recursive, ri)
+		// Position k must be an invariant variable: same variable in the
+		// head and the recursive occurrence.
+		hv := r.Head.Args[k]
+		if hv.Kind != ast.Variable || r.Body[recOcc].Args[k] != hv {
+			return nil, fmt.Errorf("xform: position %d of %s is not invariant in %s", k+1, base, r)
+		}
+		// Its other occurrences must be confined to base "check" literals
+		// whose variables are exactly {hv}.
+		var checks []int
+		for bi, b := range r.Body {
+			if bi == recOcc {
+				continue
+			}
+			uses := false
+			onlyHV := true
+			for _, t := range b.Args {
+				if t.Kind == ast.Variable && !t.IsAnon() {
+					if t.Name == hv.Name {
+						uses = true
+					} else {
+						onlyHV = false
+					}
+				}
+			}
+			if !uses {
+				continue
+			}
+			if !onlyHV || p.Derived[b.Key()] {
+				return nil, fmt.Errorf("xform: %s uses the invariant variable outside a check literal", r)
+			}
+			checks = append(checks, bi)
+		}
+		if len(checks) == 0 {
+			return nil, fmt.Errorf("xform: position %d of %s has no check literal; use plain projection pushing", k+1, base)
+		}
+		fam.checks[ri] = checks
+	}
+	if len(fam.recursive) == 0 {
+		return nil, fmt.Errorf("xform: %s is not recursive", base)
+	}
+	// All recursive rules must agree on the check literal set (modulo the
+	// invariant variable's name).
+	refChecks := checkStrings(fam, fam.recursive[0], k)
+	for _, ri := range fam.recursive[1:] {
+		got := checkStrings(fam, ri, k)
+		if len(got) != len(refChecks) {
+			return nil, fmt.Errorf("xform: recursive rules of %s disagree on check literals", base)
+		}
+		for i := range got {
+			if got[i] != refChecks[i] {
+				return nil, fmt.Errorf("xform: recursive rules of %s disagree on check literals", base)
+			}
+		}
+	}
+	// Exit rules must bind position k in the body (a variable occurring in
+	// a body literal, or a constant).
+	for _, ri := range fam.exits {
+		r := fam.rules[ri]
+		t := r.Head.Args[k]
+		if t.Kind == ast.Constant {
+			continue
+		}
+		bound := false
+		for _, b := range r.Body {
+			for _, u := range b.Args {
+				if u == t {
+					bound = true
+				}
+			}
+		}
+		if !bound {
+			return nil, fmt.Errorf("xform: exit rule %s does not bind position %d", r, k+1)
+		}
+	}
+	return fam, nil
+}
+
+// checkStrings renders rule ri's check literals with the invariant
+// variable normalized, for cross-rule comparison.
+func checkStrings(fam *familyInfo, ri, k int) []string {
+	r := fam.rules[ri]
+	hv := r.Head.Args[k]
+	s := ast.Subst{hv.Name: ast.V("$INV")}
+	var out []string
+	for _, bi := range fam.checks[ri] {
+		out = append(out, s.ApplyAtom(r.Body[bi]).String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// consumerSite is an occurrence of the family predicate outside the
+// family's own rules.
+type consumerSite struct {
+	rule int // index in p.Rules
+	lit  int
+}
+
+func consumerSites(p *ast.Program, base string, k int) ([]consumerSite, error) {
+	var sites []consumerSite
+	for ri, r := range p.Rules {
+		if r.Head.Pred == base {
+			continue
+		}
+		for bi, b := range r.Body {
+			if b.Pred != base {
+				continue
+			}
+			if b.Negated {
+				// Variant B unfolds the exit rules in place of the
+				// occurrence, which is unsound under negation.
+				return nil, fmt.Errorf("xform: use site %s negates %s; not reducible", r, base)
+			}
+			if b.Adornment == "" {
+				return nil, fmt.Errorf("xform: use site %s is not adorned; adorn the program first", r)
+			}
+			if len(b.Adornment) != len(b.Args) {
+				return nil, fmt.Errorf("xform: %s is already projected; reduce before projection pushing", b)
+			}
+			if b.Adornment[k] != 'd' {
+				return nil, fmt.Errorf("xform: position %d of %s is needed at use site %s", k+1, base, r)
+			}
+			t := b.Args[k]
+			if t.Kind == ast.Variable && !t.IsAnon() {
+				occ := 0
+				for _, bb := range r.Body {
+					for _, u := range bb.Args {
+						if u == t {
+							occ++
+						}
+					}
+				}
+				for _, u := range r.Head.Args {
+					if u == t {
+						occ++
+					}
+				}
+				if occ > 1 {
+					return nil, fmt.Errorf("xform: use site %s shares the dropped argument", r)
+				}
+			}
+			sites = append(sites, consumerSite{ri, bi})
+		}
+	}
+	if p.Query.Pred == base {
+		return nil, fmt.Errorf("xform: query goal is on %s itself; reduce a consumer instead", base)
+	}
+	return sites, nil
+}
+
+func planReduction(p *ast.Program, base string, k int) (*InvariantReduction, error) {
+	fam, err := familyOf(p, base, k)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := consumerSites(p, base, k); err != nil {
+		return nil, err
+	}
+	red := &InvariantReduction{Base: base, Pos: k, NewPred: freshPred(p, base+"_r")}
+	for _, s := range checkStrings(fam, fam.recursive[0], k) {
+		red.Checks = append(red.Checks, s)
+	}
+	return red, nil
+}
+
+func freshPred(p *ast.Program, want string) string {
+	used := map[string]bool{}
+	for _, k := range p.PredicateKeys() {
+		used[k] = true
+	}
+	name := want
+	for i := 2; used[name]; i++ {
+		name = fmt.Sprintf("%s%d", want, i)
+	}
+	return name
+}
+
+func dropPos(args []ast.Term, k int) []ast.Term {
+	out := make([]ast.Term, 0, len(args)-1)
+	out = append(out, args[:k]...)
+	out = append(out, args[k+1:]...)
+	return out
+}
+
+func applyReduction(p *ast.Program, base string, k int) (*ast.Program, error) {
+	fam, err := familyOf(p, base, k)
+	if err != nil {
+		return nil, err
+	}
+	sites, err := consumerSites(p, base, k)
+	if err != nil {
+		return nil, err
+	}
+	siteAt := map[int]int{}
+	for _, s := range sites {
+		if _, dup := siteAt[s.rule]; dup {
+			return nil, fmt.Errorf("xform: rule %s uses %s more than once", p.Rules[s.rule], base)
+		}
+		siteAt[s.rule] = s.lit
+	}
+	newPred := freshPred(p, base+"_r")
+	// Reduced adornment: the representative head adornment with position k
+	// removed; at every surviving position the recursion itself needs the
+	// value, so normalize to all-n.
+	newAd := ast.Adornment("")
+	for i := 0; i < len(fam.rules[0].Head.Args)-1; i++ {
+		newAd += "n"
+	}
+
+	out := &ast.Program{Query: p.Query.Clone(), Derived: map[string]bool{}}
+	for key := range p.Derived {
+		if !isFamilyKey(key, base, fam.keys) {
+			out.Derived[key] = true
+		}
+	}
+	out.Derived[newPred+"@"+string(newAd)] = true
+
+	reduceAtom := func(a ast.Atom) ast.Atom {
+		return ast.Atom{Pred: newPred, Adornment: newAd, Args: dropPos(a.Args, k), Negated: a.Negated}
+	}
+
+	// Reduced family rules.
+	for ri, r := range fam.rules {
+		nr := ast.Rule{Head: reduceAtom(r.Head)}
+		isRec := false
+		for _, rri := range fam.recursive {
+			if rri == ri {
+				isRec = true
+			}
+		}
+		if isRec {
+			checkSet := map[int]bool{}
+			for _, ci := range fam.checks[ri] {
+				checkSet[ci] = true
+			}
+			for bi, b := range r.Body {
+				if checkSet[bi] {
+					continue
+				}
+				if b.Pred == base {
+					nr.Body = append(nr.Body, reduceAtom(b))
+				} else {
+					nr.Body = append(nr.Body, b.Clone())
+				}
+			}
+		} else {
+			// Exit rule: keep the body and append the checks with the
+			// invariant variable bound to the exit rule's position-k term.
+			nr.Body = append(nr.Body, cloneAtoms(r.Body)...)
+			exitTerm := r.Head.Args[k]
+			rec0 := fam.recursive[0]
+			hv := fam.rules[rec0].Head.Args[k]
+			s := ast.Subst{hv.Name: exitTerm}
+			for _, ci := range fam.checks[rec0] {
+				nr.Body = append(nr.Body, s.ApplyAtom(fam.rules[rec0].Body[ci]))
+			}
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+
+	// Consumer rules: one variant through the reduced predicate, plus one
+	// unfolding per exit rule (the check-free base case).
+	exitRules := make([]ast.Rule, 0, len(fam.exits))
+	for _, ri := range fam.exits {
+		exitRules = append(exitRules, fam.rules[ri])
+	}
+	for ri, r := range p.Rules {
+		if r.Head.Pred == base {
+			continue
+		}
+		li, ok := siteAt[ri]
+		if !ok {
+			out.Rules = append(out.Rules, r.Clone())
+			continue
+		}
+		// Variant A: through the reduced predicate.
+		va := r.Clone()
+		va.Body[li] = reduceAtom(va.Body[li])
+		out.Rules = append(out.Rules, va)
+		// Variant B: unfold each exit rule in place of the occurrence.
+		for ei, ex := range exitRules {
+			renamed := ast.RenameApart(ex, fmt.Sprintf("$u%d_%d", ri, ei))
+			occ := r.Body[li].Clone()
+			occ.Adornment = ""
+			s, ok := ast.Unify(renamed.Head, occ, nil)
+			if !ok {
+				continue // exit head cannot produce this occurrence
+			}
+			vb := s.ApplyRule(r.Clone())
+			var body []ast.Atom
+			for bi, b := range vb.Body {
+				if bi == li {
+					for _, eb := range renamed.Body {
+						body = append(body, s.ApplyAtom(eb))
+					}
+				} else {
+					body = append(body, b)
+				}
+			}
+			vb.Body = body
+			out.Rules = append(out.Rules, vb)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("xform: invariant reduction produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+func isFamilyKey(key, base string, famKeys []string) bool {
+	for _, k := range famKeys {
+		if k == key {
+			return true
+		}
+	}
+	return key == base
+}
+
+func cloneAtoms(as []ast.Atom) []ast.Atom {
+	out := make([]ast.Atom, len(as))
+	for i := range as {
+		out[i] = as[i].Clone()
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package xform
+
+import (
+	"fmt"
+
+	"existdlog/internal/ast"
+)
+
+// PushProjections applies Lemma 3.2 to an adorned program: every
+// occurrence of an adorned derived literal p^a — in rule heads, rule
+// bodies, and the query goal — is consistently replaced by its projection
+// onto the 'n' positions of a. The adornment string keeps its original
+// length; the correspondence between adornment and arguments ignores the
+// 'd's, as in the paper.
+//
+// The rewrite checks the precondition that makes it meaning-preserving: a
+// variable in a dropped body position must not occur in any kept position
+// of the same rule (it may occur in other dropped positions, e.g. the head
+// position it propagates to, as in Example 1's recursive rule).
+func PushProjections(p *ast.Program) (*ast.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &ast.Program{Query: p.Query.Clone(), Derived: make(map[string]bool)}
+	for k := range p.Derived {
+		out.Derived[k] = true
+	}
+	project := func(a ast.Atom) (ast.Atom, bool) {
+		if a.Adornment == "" || !p.Derived[a.Key()] || len(a.Args) != len(a.Adornment) {
+			return a, false // unadorned, base, or already projected
+		}
+		keep := a.Args[:0:0]
+		for i, t := range a.Args {
+			if a.Adornment[i] == 'n' {
+				keep = append(keep, t)
+			}
+		}
+		return ast.Atom{Pred: a.Pred, Adornment: a.Adornment, Args: keep, Negated: a.Negated}, true
+	}
+	for ri, r := range p.Rules {
+		nr := r.Clone()
+		kept := make(map[string]int)     // variable -> occurrences in kept positions
+		droppedBody := map[string]bool{} // variables dropped from body literals
+		note := func(a ast.Atom, isBody bool) {
+			dropped := a.Adornment != "" && p.Derived[a.Key()] && len(a.Args) == len(a.Adornment)
+			for i, t := range a.Args {
+				if t.Kind != ast.Variable {
+					continue
+				}
+				if dropped && a.Adornment[i] == 'd' {
+					if isBody {
+						droppedBody[t.Name] = true
+					}
+				} else {
+					kept[t.Name]++
+				}
+			}
+		}
+		note(r.Head, false)
+		for _, b := range r.Body {
+			note(b, true)
+		}
+		for v := range droppedBody {
+			if kept[v] > 0 {
+				return nil, fmt.Errorf(
+					"xform: rule %d (%s): variable %s in a dropped position also occurs in a kept position; projection would change the query",
+					ri+1, r, v)
+			}
+		}
+		nr.Head, _ = project(nr.Head)
+		for bi := range nr.Body {
+			nr.Body[bi], _ = project(nr.Body[bi])
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+	out.Query, _ = project(out.Query)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("xform: projection produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+// AddCoveringUnitRules returns p extended with the unit rules of
+// Section 5: for every pair of adorned derived versions p^a, p^a1 of the
+// same base predicate where a1 covers a (each 'n' of a is 'n' in a1), the
+// rule
+//
+//	p^a(t̄) :- p^a1(t̄1)
+//
+// is added (if not already present), where t̄1 is a vector of fresh
+// variables over a1's kept positions and t̄ selects those kept by a.
+// The rules are valid for both projected and unprojected programs. The
+// returned indices identify the added rules in the result.
+func AddCoveringUnitRules(p *ast.Program) (*ast.Program, []int) {
+	out := p.Clone()
+	// Group adorned derived keys by base predicate name.
+	type version struct {
+		ad   ast.Adornment
+		args int
+	}
+	byBase := make(map[string][]version)
+	seen := make(map[string]bool)
+	collect := func(a ast.Atom) {
+		if a.Adornment == "" || !p.Derived[a.Key()] || seen[a.Key()] {
+			return
+		}
+		seen[a.Key()] = true
+		byBase[a.Pred] = append(byBase[a.Pred], version{a.Adornment, len(a.Args)})
+	}
+	for _, r := range p.Rules {
+		collect(r.Head)
+		for _, b := range r.Body {
+			collect(b)
+		}
+	}
+	collect(p.Query)
+
+	var added []int
+	for base, versions := range byBase {
+		for _, lo := range versions {
+			for _, hi := range versions {
+				if lo.ad == hi.ad || !hi.ad.Covers(lo.ad) {
+					continue
+				}
+				rule := coveringUnitRule(base, lo.ad, hi.ad, lo.args == len(lo.ad))
+				dup := false
+				for _, r := range out.Rules {
+					if r.Equal(rule) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					out.Rules = append(out.Rules, rule)
+					added = append(added, len(out.Rules)-1)
+				}
+			}
+		}
+	}
+	return out, added
+}
+
+// coveringUnitRule builds p^lo(t̄) :- p^hi(t̄1). With unprojected=true both
+// atoms carry all positions; otherwise each carries only its 'n'
+// positions.
+func coveringUnitRule(base string, lo, hi ast.Adornment, unprojected bool) ast.Rule {
+	var headArgs, bodyArgs []ast.Term
+	for i := range hi {
+		v := ast.V(fmt.Sprintf("U%d", i+1))
+		if unprojected {
+			bodyArgs = append(bodyArgs, v)
+			headArgs = append(headArgs, v)
+			continue
+		}
+		if hi[i] == 'n' {
+			bodyArgs = append(bodyArgs, v)
+			if lo[i] == 'n' {
+				headArgs = append(headArgs, v)
+			}
+		}
+	}
+	return ast.NewRule(
+		ast.Atom{Pred: base, Adornment: lo, Args: headArgs},
+		ast.Atom{Pred: base, Adornment: hi, Args: bodyArgs},
+	)
+}

@@ -1,0 +1,231 @@
+package existdlog
+
+import (
+	"fmt"
+
+	"existdlog/internal/adorn"
+	"existdlog/internal/ast"
+	"existdlog/internal/deletion"
+	"existdlog/internal/grammar"
+	"existdlog/internal/magic"
+	"existdlog/internal/uniform"
+	"existdlog/internal/xform"
+)
+
+// DeletionMode selects the summary-based deletion test.
+type DeletionMode = deletion.Mode
+
+// Deletion modes (Section 5 of the paper).
+const (
+	// Lemma51 justifies a deletion by a single unit rule of the program.
+	Lemma51 = deletion.Lemma51
+	// Lemma53 justifies each derivation context by any element of the
+	// closure of unit-rule projections (Algorithm 5.1); strictly stronger.
+	Lemma53 = deletion.Lemma53
+)
+
+// Options selects the optimization phases. The zero value disables
+// everything; DefaultOptions enables the full pipeline of the paper.
+type Options struct {
+	// Adorn runs the existential n/d adornment (Section 2). All later
+	// phases require it (they accept pre-adorned programs if disabled).
+	Adorn bool
+	// ReduceInvariants applies the Example 12 transformation wherever it
+	// is detected: an argument carried unchanged through a recursion and
+	// consumed only by invariant base checks is projected out, the checks
+	// moving into the exit rules (Section 6).
+	ReduceInvariants bool
+	// SplitComponents extracts disconnected existential subqueries into
+	// boolean rules (Section 3.1); evaluate with EvalOptions.BooleanCut to
+	// retire them at runtime.
+	SplitComponents bool
+	// PushProjections deletes existential argument positions (Lemma 3.2).
+	PushProjections bool
+	// AddUnitRules adds covering unit rules between adorned versions
+	// (Section 5), feeding the deletion tests.
+	AddUnitRules bool
+	// DeleteRules runs the deletion driver (Algorithm 5.2 plus cleanup).
+	DeleteRules bool
+	// DeletionMode selects Lemma51 or Lemma53.
+	DeletionMode DeletionMode
+	// SagivTest additionally deletes rules redundant under plain uniform
+	// equivalence (Example 4).
+	SagivTest bool
+	// Subsumption enables clause subsumption and query-projection
+	// subsumption — the Section 6 open-question generalization of
+	// Lemma 5.1 to non-unit rules, which deletes Example 9's redundant
+	// rule without the Example 11 rewrite.
+	Subsumption bool
+	// LiteralDeletion removes body literals redundant under uniform
+	// equivalence (Theorem 3.4's companion problem).
+	LiteralDeletion bool
+	// MagicSets finishes with the magic-sets rewriting when the query
+	// binds constants — the orthogonal selection-pushing step of
+	// Section 6.
+	MagicSets bool
+	// SupplementaryMagic uses the supplementary-predicate variant of the
+	// magic rewriting (partial joins materialized once); implies
+	// MagicSets-style placement at the end of the pipeline.
+	SupplementaryMagic bool
+}
+
+// DefaultOptions enables the paper's full pipeline (without magic sets,
+// which reshapes the program for bound queries and is opt-in).
+func DefaultOptions() Options {
+	return Options{
+		Adorn:            true,
+		ReduceInvariants: true,
+		SplitComponents:  true,
+		PushProjections:  true,
+		AddUnitRules:     true,
+		DeleteRules:      true,
+		DeletionMode:     Lemma53,
+		SagivTest:        true,
+		Subsumption:      true,
+		LiteralDeletion:  true,
+	}
+}
+
+// Step records one phase's output for reporting.
+type Step struct {
+	Name    string
+	Program string
+	Notes   []string
+}
+
+// OptimizeResult is the outcome of Optimize.
+type OptimizeResult struct {
+	// Program is the optimized program; evaluate it with BooleanCut
+	// enabled to benefit from the component split.
+	Program *Program
+	// Steps records each enabled phase's output.
+	Steps []Step
+	// Deletions lists discarded rules with their justifications.
+	Deletions []deletion.Deletion
+	// EmptyAnswer is set when the optimizer proved the answer empty at
+	// compile time (Example 8): no rules define the query predicate.
+	EmptyAnswer bool
+}
+
+// Optimize runs the optimization pipeline of the paper over p, which is
+// not mutated. The result's query goal is the adorned (and, if projection
+// ran, projected) version of p's goal; Answers on an evaluation of the
+// optimized program accepts it directly.
+func Optimize(p *Program, opt Options) (*OptimizeResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &OptimizeResult{}
+	cur := p.Clone()
+	record := func(name string, notes ...string) {
+		out.Steps = append(out.Steps, Step{Name: name, Program: cur.String(), Notes: notes})
+	}
+
+	if opt.Adorn {
+		a, err := adorn.Adorn(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = a
+		record("adorn")
+	}
+	if opt.ReduceInvariants {
+		for {
+			reds := xform.FindInvariantReductions(cur)
+			if len(reds) == 0 {
+				break
+			}
+			r := reds[0]
+			t, err := xform.ReduceInvariantArgument(cur, r.Base, r.Pos)
+			if err != nil {
+				return nil, err
+			}
+			cur = t
+			record("reduce-invariant",
+				fmt.Sprintf("dropped position %d of %s (checks: %v)", r.Pos+1, r.Base, r.Checks))
+		}
+	}
+	if opt.SplitComponents {
+		s, err := xform.SplitComponents(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = s
+		record("split-components")
+	}
+	if opt.PushProjections {
+		pp, err := xform.PushProjections(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = pp
+		record("push-projections")
+	}
+	if opt.AddUnitRules {
+		ext, added := xform.AddCoveringUnitRules(cur)
+		cur = ext
+		record("add-unit-rules", fmt.Sprintf("%d covering unit rules added", len(added)))
+	}
+	if opt.DeleteRules {
+		var test func(*ast.Program, int) (bool, error)
+		if opt.SagivTest {
+			test = uniform.RuleRedundant
+		}
+		var litTest func(*ast.Program, int, int) (bool, error)
+		if opt.LiteralDeletion {
+			litTest = uniform.LiteralRedundant
+		}
+		trimmed, dels, err := deletion.DeleteRules(cur, deletion.Options{
+			Mode:        opt.DeletionMode,
+			UniformTest: test,
+			LiteralTest: litTest,
+			Subsumption: opt.Subsumption,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cur = trimmed
+		out.Deletions = dels
+		record("delete-rules", fmt.Sprintf("%d rules discarded", len(dels)))
+	}
+	if opt.MagicSets || opt.SupplementaryMagic {
+		rewrite := magic.Rewrite
+		name := "magic-sets"
+		if opt.SupplementaryMagic {
+			rewrite = magic.RewriteSupplementary
+			name = "magic-sets-supplementary"
+		}
+		m, err := rewrite(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = m
+		record(name)
+	}
+	if len(cur.RulesFor(cur.Query.Key())) == 0 && cur.IsDerived(cur.Query.Key()) {
+		out.EmptyAnswer = true
+	}
+	out.Program = cur
+	return out, nil
+}
+
+// CountingRewrite exposes the counting method for the canonical linear
+// recursion with a bound source (Section 6's orthogonal rewritings).
+func CountingRewrite(p *Program) (*Program, error) { return magic.CountingRewrite(p) }
+
+// MagicRewrite exposes the generalized magic-sets transformation.
+func MagicRewrite(p *Program) (*Program, error) { return magic.Rewrite(p) }
+
+// SupplementaryMagicRewrite exposes the supplementary-predicate variant of
+// magic sets, which materializes each rule's partial joins once.
+func SupplementaryMagicRewrite(p *Program) (*Program, error) {
+	return magic.RewriteSupplementary(p)
+}
+
+// ChainQueryEquivalent decides query equivalence of two binary chain
+// programs whose grammars are linear — the decidable fragment of
+// Lemma 4.1(2). General chain-program query equivalence is undecidable
+// (Lemma 4.2).
+func ChainQueryEquivalent(p1, p2 *Program) (bool, error) {
+	return grammar.ChainQueryEquivalent(p1, p2)
+}
