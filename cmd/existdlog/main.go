@@ -3,7 +3,7 @@
 //
 //	existdlog optimize [-mode 51|53] [-magic] file.dl   step-by-step optimization report
 //	existdlog adorn file.dl                             print the adorned program
-//	existdlog run [-noopt] [-nocut] [-naive] file.dl    evaluate and print answers + stats
+//	existdlog run [-noopt] [-nocut] [-naive] [-parallel] file.dl  evaluate and print answers + stats
 //	existdlog explain file.dl 'a@nd(1)'                 print a derivation tree
 //	existdlog grammar file.dl                           chain-program/grammar analysis
 //	existdlog equiv left.dl right.dl                    Section 4 equivalence report
@@ -155,6 +155,7 @@ func cmdRun(args []string) error {
 	noopt := fs.Bool("noopt", false, "evaluate the program as written")
 	nocut := fs.Bool("nocut", false, "disable the runtime boolean cut")
 	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
+	parallel := fs.Bool("parallel", false, "parallel semi-naive evaluation (same answers and stats, GOMAXPROCS workers)")
 	reorder := fs.Bool("reorder", false, "greedy bound-first join reordering")
 	maxAnswers := fs.Int("max", 50, "print at most this many answers (0 = all)")
 	var rels relFlags
@@ -200,8 +201,14 @@ func cmdRun(args []string) error {
 		}
 	}
 	opts := existdlog.EvalOptions{BooleanCut: !*nocut, ReorderJoins: *reorder}
+	if *naive && *parallel {
+		return fmt.Errorf("run: -naive and -parallel are mutually exclusive")
+	}
 	if *naive {
 		opts.Strategy = existdlog.Naive
+	}
+	if *parallel {
+		opts.Strategy = existdlog.Parallel
 	}
 	res, err := existdlog.Eval(prog, db, opts)
 	if err != nil {

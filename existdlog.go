@@ -62,6 +62,7 @@ type (
 const (
 	SemiNaive = engine.SemiNaive
 	Naive     = engine.Naive
+	Parallel  = engine.Parallel
 )
 
 // Parse parses a Datalog source text: rules, an optional "?- goal." query,

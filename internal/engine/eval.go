@@ -3,7 +3,10 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"existdlog/internal/ast"
 )
@@ -14,11 +17,20 @@ type Strategy int
 const (
 	// SemiNaive is differential evaluation: each iteration joins the
 	// previous iteration's new facts (the delta) against the full
-	// relations, one rule version per derived body occurrence.
+	// relations, one rule version per derived body occurrence. Rule
+	// versions read the relation state frozen at the start of the pass and
+	// their derivations are merged at the end of the pass, in rule order.
 	SemiNaive Strategy = iota
 	// Naive re-evaluates every rule against the full relations each
 	// iteration. Kept for cross-checking the semi-naive implementation.
 	Naive
+	// Parallel is SemiNaive with the rule versions of each pass fanned out
+	// over a worker pool. Workers join against the pass's frozen relation
+	// state and emit into private buffers; the buffers are merged at the
+	// pass barrier in a fixed (rule, occurrence, emission) order, so
+	// answers, relation insertion order, and Stats are identical to
+	// SemiNaive on every input — only wall-clock time differs.
+	Parallel
 )
 
 // Options configures an evaluation.
@@ -30,12 +42,16 @@ type Options struct {
 	// retired in cascade ("if q4 does not appear anywhere else in the
 	// program, the rule defining it can also be discarded after B2 is
 	// shown true"). With the cut enabled, non-query derived relations may
-	// legitimately be under-computed; query answers are unaffected.
+	// legitimately be under-computed; query answers are unaffected. Cut
+	// decisions are taken only at pass barriers, never mid-pass, so they
+	// are identical under sequential and parallel evaluation.
 	BooleanCut bool
 	// MaxIterations bounds the fixpoint (default 1<<20).
 	MaxIterations int
 	// MaxFacts bounds the number of derived facts (0 = unlimited); the
-	// guard matters for programs using the arithmetic builtins.
+	// guard matters for programs using the arithmetic builtins. The limit
+	// is exact: the insert that would exceed it is rejected, so
+	// Stats.FactsDerived never overshoots MaxFacts.
 	MaxFacts int
 	// TrackProvenance records one justification per derived fact so that
 	// derivation trees (Section 1.1 of the paper) can be reconstructed.
@@ -45,6 +61,10 @@ type Options struct {
 	// instead of the textual order. Answers are unaffected; join probe
 	// counts usually drop on badly ordered rules.
 	ReorderJoins bool
+	// Workers caps the goroutine pool used by the Parallel strategy
+	// (0 means runtime.GOMAXPROCS(0)). Other strategies ignore it, and
+	// results never depend on it.
+	Workers int
 }
 
 // ErrFactLimit is returned when MaxFacts is exceeded.
@@ -55,7 +75,9 @@ var ErrIterationLimit = errors.New("engine: iteration limit exceeded")
 
 // Stats are the evaluation counters reported by the benchmarks. The paper
 // argues arity reduction cuts both the facts produced and the duplicate
-// elimination cost, so both are counted explicitly.
+// elimination cost, so both are counted explicitly. The counters are
+// deterministic for every strategy, and Parallel reproduces SemiNaive's
+// counters exactly.
 type Stats struct {
 	Iterations    int   // fixpoint passes
 	FactsDerived  int   // distinct new facts added to derived relations
@@ -132,8 +154,23 @@ type rulePlan struct {
 	boolHead bool
 	stratum  int
 	// orders caches the greedy join order per delta occurrence (-1 for
-	// the naive/startup version); nil entries mean textual order.
+	// the naive/startup version); nil entries mean textual order. The
+	// cache is filled before a pass fans out, so workers only read it.
 	orders map[int][]int
+}
+
+// version identifies one semi-naive rule version: a rule plan and the body
+// occurrence reading the delta (-1 for naive/startup versions). A pass is a
+// list of versions; the list order is the merge order.
+type version struct {
+	pi  int
+	occ int
+}
+
+// emission is one buffered head derivation awaiting the merge barrier.
+type emission struct {
+	head Tuple
+	just []FactRef
 }
 
 type evaluator struct {
@@ -147,16 +184,29 @@ type evaluator struct {
 	next    map[string]*Relation
 	stats   Stats
 	prov    map[string]map[string]Justification
-	// scratch per join
+	// run is the runner used by the sequential evaluation paths (naive
+	// passes, Update, Retract); parallel passes build one runner per
+	// worker instead.
+	run       runner
+	baseFacts int
+	queryKey  string
+	maxStrat  int
+}
+
+// runner is the per-goroutine evaluation state: the join recursion's
+// scratch buffers plus the counters it bumps. Sequential paths share the
+// evaluator's embedded runner; a Parallel pass gives every worker a private
+// one so rule versions can evaluate concurrently against the frozen
+// relations without sharing any mutable state.
+type runner struct {
+	ev        *evaluator
+	stats     *Stats
 	slotVals  []int32
 	slotBound []bool
 	bodyFacts []FactRef
 	colsBuf   [][]int
 	valsBuf   []Tuple
 	newlyBuf  [][]int
-	baseFacts int
-	queryKey  string
-	maxStrat  int
 }
 
 // Eval evaluates program p bottom-up over the extensional database edb and
@@ -180,6 +230,7 @@ func Eval(p *ast.Program, edb *Database, opt Options) (*Result, error) {
 		next:     make(map[string]*Relation),
 		queryKey: p.Query.Key(),
 	}
+	ev.run = runner{ev: ev, stats: &ev.stats}
 	ev.baseFacts = ev.out.TotalFacts()
 	if opt.TrackProvenance {
 		ev.prov = make(map[string]map[string]Justification)
@@ -294,6 +345,18 @@ func (ev *evaluator) compile(p *ast.Program) error {
 		plan.slots = len(slots)
 		ev.plans = append(ev.plans, plan)
 	}
+	// Materialize every non-builtin body relation up front. Relation
+	// lookup during a pass is then read-only, which the Parallel strategy
+	// relies on: workers share the database and must not race to create
+	// missing base relations. Existing relations are left untouched.
+	for _, plan := range ev.plans {
+		for i := range plan.body {
+			lp := &plan.body[i]
+			if lp.builtin == notBuiltin && !ev.out.Has(lp.key) {
+				ev.out.Relation(lp.key, len(lp.args))
+			}
+		}
+	}
 	ev.active = make([]bool, len(ev.plans))
 	for i := range ev.active {
 		ev.active[i] = true
@@ -325,6 +388,8 @@ func (ev *evaluator) relationFor(lp *literalPlan, deltaOcc int) *Relation {
 	r, ok := ev.out.Lookup(lp.key)
 	if !ok {
 		// Base predicate with no facts: empty relation of the right arity.
+		// (Unreachable after compile's materialization pass; kept as a
+		// safety net for direct callers.)
 		return ev.out.Relation(lp.key, len(lp.args))
 	}
 	return r
@@ -334,6 +399,9 @@ func (ev *evaluator) relationFor(lp *literalPlan, deltaOcc int) *Relation {
 // version: the delta literal first, then greedily the literal with the
 // most bound arguments among those whose builtin binding requirements are
 // satisfiable, preferring base relations and the textual order on ties.
+// Relation sizes are stable within a pass (inserts happen only at merge
+// barriers), so the cached order does not depend on when within a pass it
+// was computed.
 func (ev *evaluator) joinOrder(plan *rulePlan, deltaOcc int) []int {
 	if !ev.opt.ReorderJoins {
 		return nil
@@ -431,28 +499,31 @@ func (ev *evaluator) joinOrder(plan *rulePlan, deltaOcc int) []int {
 }
 
 // evalRule joins the body of plan (with the deltaOcc-th derived occurrence
-// reading the delta) and feeds the head tuples to emit.
-func (ev *evaluator) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactRef) error) error {
-	if cap(ev.slotVals) < plan.slots {
-		ev.slotVals = make([]int32, plan.slots)
-		ev.slotBound = make([]bool, plan.slots)
+// reading the delta) and feeds the head tuples to emit. It reads relations
+// but never writes them; the only counter it touches is the runner's
+// JoinProbes.
+func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactRef) error) error {
+	ev := r.ev
+	if cap(r.slotVals) < plan.slots {
+		r.slotVals = make([]int32, plan.slots)
+		r.slotBound = make([]bool, plan.slots)
 	}
-	vals := ev.slotVals[:plan.slots]
-	bound := ev.slotBound[:plan.slots]
+	vals := r.slotVals[:plan.slots]
+	bound := r.slotBound[:plan.slots]
 	for i := range bound {
 		bound[i] = false
 	}
 	if ev.opt.TrackProvenance {
-		if cap(ev.bodyFacts) < len(plan.body) {
-			ev.bodyFacts = make([]FactRef, len(plan.body))
+		if cap(r.bodyFacts) < len(plan.body) {
+			r.bodyFacts = make([]FactRef, len(plan.body))
 		}
 	}
 	// Per-depth scratch for the bound-column probe and the newly bound
 	// slots, reused across all tuples of a literal.
-	for len(ev.colsBuf) < len(plan.body) {
-		ev.colsBuf = append(ev.colsBuf, make([]int, 0, 8))
-		ev.valsBuf = append(ev.valsBuf, make(Tuple, 0, 8))
-		ev.newlyBuf = append(ev.newlyBuf, make([]int, 0, 8))
+	for len(r.colsBuf) < len(plan.body) {
+		r.colsBuf = append(r.colsBuf, make([]int, 0, 8))
+		r.valsBuf = append(r.valsBuf, make(Tuple, 0, 8))
+		r.newlyBuf = append(r.newlyBuf, make([]int, 0, 8))
 	}
 	order := ev.joinOrder(plan, deltaOcc)
 	var rec func(step int) error
@@ -472,17 +543,17 @@ func (ev *evaluator) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []F
 			}
 			var just []FactRef
 			if ev.opt.TrackProvenance {
-				just = append(just, ev.bodyFacts[:len(plan.body)]...)
+				just = append(just, r.bodyFacts[:len(plan.body)]...)
 			}
 			return emit(head, just)
 		}
 		lp := &plan.body[li]
 		if lp.builtin != notBuiltin {
-			return ev.evalBuiltin(plan, lp, step, vals, bound, rec)
+			return r.evalBuiltin(plan, lp, step, vals, bound, rec)
 		}
 		rel := ev.relationFor(lp, deltaOcc)
-		cols := ev.colsBuf[step][:0]
-		cvals := ev.valsBuf[step][:0]
+		cols := r.colsBuf[step][:0]
+		cvals := r.valsBuf[step][:0]
 		for i, a := range lp.args {
 			if a.isConst {
 				cols = append(cols, i)
@@ -492,24 +563,24 @@ func (ev *evaluator) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []F
 				cvals = append(cvals, vals[a.slot])
 			}
 		}
-		ev.colsBuf[step], ev.valsBuf[step] = cols, cvals
+		r.colsBuf[step], r.valsBuf[step] = cols, cvals
 		if lp.negated {
 			// Negation as failure against the finished lower-stratum
 			// relation. Safety has bound every named variable; remaining
 			// unbound positions are anonymous wildcards.
-			ev.stats.JoinProbes++
+			r.stats.JoinProbes++
 			if len(rel.Match(cols, cvals)) == 0 {
 				if ev.opt.TrackProvenance {
-					ev.bodyFacts[li] = FactRef{}
+					r.bodyFacts[li] = FactRef{}
 				}
 				return rec(step + 1)
 			}
 			return nil
 		}
-		ev.stats.JoinProbes++
+		r.stats.JoinProbes++
 		for _, ti := range rel.Match(cols, cvals) {
 			t := rel.Tuple(ti)
-			newly := ev.newlyBuf[step][:0]
+			newly := r.newlyBuf[step][:0]
 			ok := true
 			for i, a := range lp.args {
 				if a.isConst {
@@ -526,10 +597,10 @@ func (ev *evaluator) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []F
 					newly = append(newly, a.slot)
 				}
 			}
-			ev.newlyBuf[step] = newly
+			r.newlyBuf[step] = newly
 			if ok {
 				if ev.opt.TrackProvenance {
-					ev.bodyFacts[li] = FactRef{Key: lp.key, Row: t}
+					r.bodyFacts[li] = FactRef{Key: lp.key, Row: t}
 				}
 				if err := rec(step + 1); err != nil {
 					return err
@@ -544,7 +615,8 @@ func (ev *evaluator) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []F
 	return rec(0)
 }
 
-func (ev *evaluator) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals []int32, bound []bool, rec func(int) error) error {
+func (r *runner) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals []int32, bound []bool, rec func(int) error) error {
+	syms := r.ev.out.Syms
 	get := func(a argRef) (int32, bool) {
 		if a.isConst {
 			return a.constID, true
@@ -555,7 +627,7 @@ func (ev *evaluator) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals
 		return 0, false
 	}
 	num := func(id int32) (int, bool) {
-		n, err := strconv.Atoi(ev.out.Syms.Name(id))
+		n, err := strconv.Atoi(syms.Name(id))
 		return n, err == nil
 	}
 	x, xok := get(lp.args[0])
@@ -571,7 +643,7 @@ func (ev *evaluator) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals
 			if !ok {
 				return nil // non-numeric constant: no successor
 			}
-			ny := ev.out.Syms.Intern(strconv.Itoa(n + 1))
+			ny := syms.Intern(strconv.Itoa(n + 1))
 			if yok {
 				if y == ny {
 					return rec(step + 1)
@@ -588,7 +660,7 @@ func (ev *evaluator) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals
 			if !ok || n < 1 {
 				return nil
 			}
-			nx := ev.out.Syms.Intern(strconv.Itoa(n - 1))
+			nx := syms.Intern(strconv.Itoa(n - 1))
 			a := lp.args[0]
 			vals[a.slot], bound[a.slot] = nx, true
 			err := rec(step + 1)
@@ -619,11 +691,33 @@ func (ev *evaluator) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals
 	return fmt.Errorf("rule %d: unknown builtin", plan.idx+1)
 }
 
+// evalVersion runs one rule version to completion, buffering every head
+// derivation instead of inserting it. The buffer is merged later, on the
+// coordinating goroutine, in version order.
+func (r *runner) evalVersion(plan *rulePlan, occ int) ([]emission, error) {
+	var buf []emission
+	err := r.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
+		buf = append(buf, emission{head: t, just: just})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // insertDerived adds a head tuple to the full relation (and the "next"
 // delta for semi-naive), maintaining counters, limits, and provenance.
 func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, collectNext bool) error {
 	ev.stats.Derivations++
 	rel := ev.out.Relation(plan.headKey, len(head))
+	// MaxFacts is exact: the insert that would exceed the limit is
+	// rejected before it lands, so FactsDerived never overshoots — the
+	// merge loop stops mid-buffer on the first over-limit fact. Duplicate
+	// derivations past the limit are still counted, not errors.
+	if ev.opt.MaxFacts > 0 && ev.stats.FactsDerived >= ev.opt.MaxFacts && !rel.Contains(head) {
+		return ErrFactLimit
+	}
 	if !rel.Insert(head) {
 		ev.stats.DuplicateHits++
 		return nil
@@ -651,8 +745,90 @@ func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, c
 		}
 		m[tupleKey(head)] = Justification{Rule: plan.idx, Body: kept}
 	}
-	if ev.opt.MaxFacts > 0 && ev.stats.FactsDerived > ev.opt.MaxFacts {
-		return ErrFactLimit
+	return nil
+}
+
+// workers returns the size of the Parallel strategy's worker pool.
+func (ev *evaluator) workers() int {
+	if ev.opt.Workers > 0 {
+		return ev.opt.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPass evaluates the given rule versions against the pass's frozen
+// relation state, buffering every derivation, then merges the buffers in
+// (rule, occurrence, emission) order on the calling goroutine. Relations
+// mutate only during the merge, so sequential and parallel execution read
+// identical states and produce bit-identical results, insertion orders,
+// and Stats; the worker pool only changes wall-clock time. collectNext
+// routes genuinely new facts into the next delta.
+func (ev *evaluator) runPass(versions []version, collectNext bool) error {
+	if len(versions) == 0 {
+		return nil
+	}
+	// Fill the per-plan join-order cache up front on this goroutine:
+	// workers then only read it, and the cached order is the same one
+	// sequential evaluation would compute (sizes are stable in a pass).
+	for _, v := range versions {
+		ev.joinOrder(ev.plans[v.pi], v.occ)
+	}
+	bufs := make([][]emission, len(versions))
+	errs := make([]error, len(versions))
+	workers := 1
+	if ev.opt.Strategy == Parallel {
+		workers = ev.workers()
+		if workers > len(versions) {
+			workers = len(versions)
+		}
+	}
+	if workers <= 1 {
+		r := &ev.run
+		for vi, v := range versions {
+			bufs[vi], errs[vi] = r.evalVersion(ev.plans[v.pi], v.occ)
+			if errs[vi] != nil {
+				break // the pass fails; later versions are moot
+			}
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		local := make([]Stats, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := runner{ev: ev, stats: &local[w]}
+				for {
+					vi := int(cursor.Add(1)) - 1
+					if vi >= len(versions) {
+						return
+					}
+					v := versions[vi]
+					bufs[vi], errs[vi] = r.evalVersion(ev.plans[v.pi], v.occ)
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Probe counts are additive, so the sum over workers equals the
+		// sequential total regardless of how versions were distributed.
+		for w := range local {
+			ev.stats.JoinProbes += local[w].JoinProbes
+		}
+	}
+	// Merge barrier: versions in order, emissions in the order their
+	// version produced them. The first errored version aborts the
+	// evaluation (same error sequential execution would surface).
+	for vi, v := range versions {
+		if errs[vi] != nil {
+			return errs[vi]
+		}
+		plan := ev.plans[v.pi]
+		for _, em := range bufs[vi] {
+			if err := ev.insertDerived(plan, em.head, em.just, collectNext); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -677,7 +853,7 @@ func (ev *evaluator) runNaiveStratum(level int) error {
 			if !ev.active[pi] || plan.stratum != level {
 				continue
 			}
-			err := ev.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
+			err := ev.run.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
 				return ev.insertDerived(plan, t, just, false)
 			})
 			if err != nil {
@@ -700,13 +876,30 @@ func (ev *evaluator) runSemiNaive() error {
 	return nil
 }
 
+// deltaKey returns the relation key of plan's occ-th delta occurrence.
+func deltaKey(plan *rulePlan, occ int) string {
+	for i := range plan.body {
+		if plan.body[i].occ == occ {
+			return plan.body[i].key
+		}
+	}
+	return ""
+}
+
+// runSemiNaiveStratum runs the SemiNaive/Parallel fixpoint for one
+// stratum. Every pass (the startup pass and each delta iteration) is a
+// barrier: rule versions read the relation state frozen at the start of
+// the pass, their emissions merge at the end, and boolean-cut retirement
+// is decided only between passes — which is what makes the parallel
+// fan-out race-free and bit-identical to sequential execution.
 func (ev *evaluator) runSemiNaiveStratum(level int) error {
 	// Startup pass: evaluate this stratum's rules against the full
 	// relations (which contain lower strata and any derived-predicate
-	// seeds); everything currently in this stratum's relations becomes the
+	// seeds); everything then in this stratum's relations becomes the
 	// first delta.
 	ev.stats.Iterations++
 	stratumKeys := map[string]bool{}
+	var startup []version
 	for pi, plan := range ev.plans {
 		if plan.stratum != level {
 			continue
@@ -715,12 +908,10 @@ func (ev *evaluator) runSemiNaiveStratum(level int) error {
 		if !ev.active[pi] {
 			continue
 		}
-		err := ev.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
-			return ev.insertDerived(plan, t, just, false)
-		})
-		if err != nil {
-			return err
-		}
+		startup = append(startup, version{pi: pi, occ: -1})
+	}
+	if err := ev.runPass(startup, false); err != nil {
+		return err
 	}
 	ev.deltas = make(map[string]*Relation)
 	for key := range stratumKeys {
@@ -736,29 +927,21 @@ func (ev *evaluator) runSemiNaiveStratum(level int) error {
 			return ErrIterationLimit
 		}
 		ev.next = make(map[string]*Relation)
+		var vs []version
 		for pi, plan := range ev.plans {
 			if !ev.active[pi] || plan.stratum != level || plan.nDeltas == 0 {
 				continue
 			}
 			for occ := 0; occ < plan.nDeltas; occ++ {
 				// Skip versions whose delta occurrence has an empty delta.
-				target := ""
-				for _, lp := range plan.body {
-					if lp.occ == occ {
-						target = lp.key
-						break
-					}
-				}
-				if _, ok := ev.deltas[target]; !ok {
+				if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
 					continue
 				}
-				err := ev.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
-					return ev.insertDerived(plan, t, just, true)
-				})
-				if err != nil {
-					return err
-				}
+				vs = append(vs, version{pi: pi, occ: occ})
 			}
+		}
+		if err := ev.runPass(vs, true); err != nil {
+			return err
 		}
 		ev.deltas = ev.next
 		ev.applyCut()
@@ -767,7 +950,9 @@ func (ev *evaluator) runSemiNaiveStratum(level int) error {
 }
 
 // applyCut retires boolean rules whose head already holds and cascades to
-// rules that now feed nothing (Section 3.1).
+// rules that now feed nothing (Section 3.1). It is only ever called at
+// pass barriers, so retirement decisions are identical under sequential
+// and parallel evaluation.
 func (ev *evaluator) applyCut() {
 	if !ev.opt.BooleanCut {
 		return

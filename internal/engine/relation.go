@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"sync"
 )
 
 // Tuple is a row of interned constant ids.
@@ -30,10 +31,17 @@ func projKey(t Tuple, cols []int) string {
 // Relation is a set of tuples of fixed arity with hash indexes built on
 // demand per bound-column signature. Insertion order is preserved, which
 // keeps evaluation deterministic.
+//
+// Tuples and the membership set only mutate at evaluation merge barriers,
+// on a single goroutine; the lazily built indexes, however, can be created
+// during a pass while Parallel workers probe the relation concurrently, so
+// mu guards the index map. A published index is immutable until the next
+// Insert (which happens only after all workers have stopped).
 type Relation struct {
 	arity   int
 	tuples  []Tuple
 	set     map[string]struct{}
+	mu      sync.RWMutex // guards indexes
 	indexes map[uint64]*index
 }
 
@@ -77,10 +85,12 @@ func (r *Relation) Insert(t Tuple) bool {
 	r.set[k] = struct{}{}
 	idx := len(r.tuples)
 	r.tuples = append(r.tuples, cp)
+	r.mu.Lock()
 	for _, ix := range r.indexes {
 		pk := projKey(cp, ix.cols)
 		ix.buckets[pk] = append(ix.buckets[pk], idx)
 	}
+	r.mu.Unlock()
 	return true
 }
 
@@ -132,17 +142,26 @@ func (r *Relation) Match(cols []int, vals []int32) []int {
 		scols, svals = sc, sv
 	}
 	mask := colMask(scols)
+	r.mu.RLock()
 	ix, ok := r.indexes[mask]
+	r.mu.RUnlock()
 	if !ok {
-		ix = &index{cols: append([]int(nil), scols...), buckets: make(map[string][]int)}
-		for i, t := range r.tuples {
-			pk := projKey(t, ix.cols)
-			ix.buckets[pk] = append(ix.buckets[pk], i)
+		// Double-checked: another worker may have built this index while we
+		// waited for the write lock. Building under the lock reads tuples,
+		// which are frozen for the duration of a pass.
+		r.mu.Lock()
+		if ix, ok = r.indexes[mask]; !ok {
+			ix = &index{cols: append([]int(nil), scols...), buckets: make(map[string][]int)}
+			for i, t := range r.tuples {
+				pk := projKey(t, ix.cols)
+				ix.buckets[pk] = append(ix.buckets[pk], i)
+			}
+			if r.indexes == nil {
+				r.indexes = make(map[uint64]*index)
+			}
+			r.indexes[mask] = ix
 		}
-		if r.indexes == nil {
-			r.indexes = make(map[uint64]*index)
-		}
-		r.indexes[mask] = ix
+		r.mu.Unlock()
 	}
 	return ix.buckets[tupleKey(svals)]
 }

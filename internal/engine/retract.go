@@ -45,6 +45,7 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 		next:     make(map[string]*Relation),
 		queryKey: p.Query.Key(),
 	}
+	ev.run = runner{ev: ev, stats: &ev.stats}
 	if opt.TrackProvenance {
 		ev.prov = make(map[string]map[string]Justification)
 		for k, m := range prev.prov {
@@ -121,17 +122,10 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 				continue
 			}
 			for occ := 0; occ < plan.nDeltas; occ++ {
-				target := ""
-				for _, lp := range plan.body {
-					if lp.occ == occ {
-						target = lp.key
-						break
-					}
-				}
-				if _, ok := ev.deltas[target]; !ok {
+				if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
 					continue
 				}
-				err := ev.evalRule(plan, occ, func(t Tuple, _ []FactRef) error {
+				err := ev.run.evalRule(plan, occ, func(t Tuple, _ []FactRef) error {
 					ev.stats.Derivations++
 					if rel, ok := ev.out.Lookup(plan.headKey); ok && rel.Contains(t) && markDead(plan.headKey, t) {
 						nx, ok := ev.next[plan.headKey]
@@ -187,7 +181,7 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 		if !touched {
 			continue
 		}
-		err := ev.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
+		err := ev.run.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
 			if !dm[tupleKey(t)] {
 				return nil // still present; nothing to re-derive
 			}
@@ -212,17 +206,10 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 				continue
 			}
 			for occ := 0; occ < plan.nDeltas; occ++ {
-				target := ""
-				for _, lp := range plan.body {
-					if lp.occ == occ {
-						target = lp.key
-						break
-					}
-				}
-				if _, ok := ev.deltas[target]; !ok {
+				if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
 					continue
 				}
-				err := ev.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
+				err := ev.run.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
 					return ev.insertDerived(plan, t, just, true)
 				})
 				if err != nil {

@@ -5,6 +5,8 @@
 // from the fixpoint computation once the predicate becomes true).
 package engine
 
+import "sync"
+
 // AnonID is the interned id of the reserved constant "_" used to fill
 // anonymous head arguments produced by the connected-component rewrite
 // (the argument position is existential, so any witness value is
@@ -12,8 +14,13 @@ package engine
 const AnonID int32 = 0
 
 // Symbols interns constant names to dense int32 ids. Id 0 is reserved for
-// the anonymous constant "_".
+// the anonymous constant "_". The interner is safe for concurrent use: the
+// Parallel evaluation strategy lets workers intern numerals through the
+// succ builtin while others decode names. Which worker wins a concurrent
+// Intern race only affects the private numeric ids, never any observable
+// output — every comparison and answer decodes ids back to names.
 type Symbols struct {
+	mu    sync.RWMutex
 	names []string
 	ids   map[string]int32
 }
@@ -27,10 +34,18 @@ func NewSymbols() *Symbols {
 
 // Intern returns the id for name, assigning a new one if needed.
 func (s *Symbols) Intern(name string) int32 {
+	s.mu.RLock()
+	id, ok := s.ids[name]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if id, ok := s.ids[name]; ok {
 		return id
 	}
-	id := int32(len(s.names))
+	id = int32(len(s.names))
 	s.names = append(s.names, name)
 	s.ids[name] = id
 	return id
@@ -38,18 +53,30 @@ func (s *Symbols) Intern(name string) int32 {
 
 // Lookup returns the id for name without interning.
 func (s *Symbols) Lookup(name string) (int32, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	id, ok := s.ids[name]
 	return id, ok
 }
 
 // Name returns the constant name for id.
-func (s *Symbols) Name(id int32) string { return s.names[id] }
+func (s *Symbols) Name(id int32) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.names[id]
+}
 
 // Len returns the number of interned constants.
-func (s *Symbols) Len() int { return len(s.names) }
+func (s *Symbols) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.names)
+}
 
 // Clone returns an independent copy of the interner.
 func (s *Symbols) Clone() *Symbols {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c := &Symbols{
 		names: append([]string(nil), s.names...),
 		ids:   make(map[string]int32, len(s.ids)),

@@ -46,6 +46,7 @@ func Update(p *ast.Program, prev *Result, added *Database, opt Options) (*Result
 		next:     make(map[string]*Relation),
 		queryKey: p.Query.Key(),
 	}
+	ev.run = runner{ev: ev, stats: &ev.stats}
 	if opt.TrackProvenance {
 		ev.prov = make(map[string]map[string]Justification)
 		for k, m := range prev.prov {
@@ -95,17 +96,10 @@ func Update(p *ast.Program, prev *Result, added *Database, opt Options) (*Result
 				continue
 			}
 			for occ := 0; occ < plan.nDeltas; occ++ {
-				target := ""
-				for _, lp := range plan.body {
-					if lp.occ == occ {
-						target = lp.key
-						break
-					}
-				}
-				if _, ok := ev.deltas[target]; !ok {
+				if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
 					continue
 				}
-				err := ev.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
+				err := ev.run.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
 					return ev.insertDerived(plan, t, just, true)
 				})
 				if err != nil {
