@@ -1,14 +1,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"existdlog/internal/engine"
 	"existdlog/internal/experiments"
 	"existdlog/internal/harness"
 )
+
+// errReason names a cancellation/deadline abort for the bench footer.
+func errReason(err error) string {
+	if errors.Is(err, engine.ErrDeadline) {
+		return "deadline exceeded"
+	}
+	return "canceled"
+}
 
 // cmdBench runs the full experiment suite of EXPERIMENTS.md and prints
 // each table plus the E12 capability matrix.
@@ -16,8 +27,28 @@ func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	only := fs.String("only", "", "run a single experiment id (e.g. E3)")
 	parallel := fs.Bool("parallel", false, "evaluate semi-naive variants with the parallel strategy")
+	timeout := fs.Duration("timeout", 0, "overall deadline for the suite; on expiry the partial tables are printed (0 = no limit)")
+	cancelTable := fs.Bool("cancel", false, "measure the cancellation-latency table (DESIGN.md §7) instead of the experiment suite")
 	fs.Parse(args)
 
+	if *cancelTable {
+		fmt.Println("== cancellation latency: time from deadline expiry to partial result ==")
+		rows, err := experiments.CancellationLatency([]time.Duration{
+			time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatCancellationTable(rows))
+		return nil
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	exps, err := experiments.All()
 	if err != nil {
 		return err
@@ -37,11 +68,16 @@ func cmdBench(args []string) error {
 		}
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		fmt.Printf("claim: %s\n", e.Claim)
-		rows, err := e.Run()
-		if err != nil {
+		rows, err := e.RunContext(ctx)
+		aborted := err != nil && (errors.Is(err, engine.ErrCanceled) || errors.Is(err, engine.ErrDeadline))
+		if err != nil && !aborted {
 			return err
 		}
 		harness.WriteTable(os.Stdout, rows)
+		if aborted {
+			fmt.Printf("%%%% bench aborted mid-suite: %s\n", errReason(err))
+			return nil
+		}
 		if len(e.Variants) >= 2 {
 			fmt.Println("speedups (first variant vs last):")
 			fmt.Print(harness.Speedup(rows, e.Variants[0].Name, e.Variants[len(e.Variants)-1].Name))

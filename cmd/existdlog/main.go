@@ -3,7 +3,7 @@
 //
 //	existdlog optimize [-mode 51|53] [-magic] file.dl   step-by-step optimization report
 //	existdlog adorn file.dl                             print the adorned program
-//	existdlog run [-noopt] [-nocut] [-naive] [-parallel] file.dl  evaluate and print answers + stats
+//	existdlog run [-noopt] [-nocut] [-naive] [-parallel] [-timeout 1s] file.dl  evaluate and print answers + stats
 //	existdlog explain file.dl 'a@nd(1)'                 print a derivation tree
 //	existdlog grammar file.dl                           chain-program/grammar analysis
 //	existdlog equiv left.dl right.dl                    Section 4 equivalence report
@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -158,6 +159,7 @@ func cmdRun(args []string) error {
 	parallel := fs.Bool("parallel", false, "parallel semi-naive evaluation (same answers and stats, GOMAXPROCS workers)")
 	reorder := fs.Bool("reorder", false, "greedy bound-first join reordering")
 	maxAnswers := fs.Int("max", 50, "print at most this many answers (0 = all)")
+	timeout := fs.Duration("timeout", 0, "abort evaluation after this long, printing the partial result (0 = no limit)")
 	var rels relFlags
 	fs.Var(&rels, "rel", "load a relation from CSV: -rel name=path.csv (repeatable)")
 	fs.Parse(args)
@@ -210,8 +212,14 @@ func cmdRun(args []string) error {
 	if *parallel {
 		opts.Strategy = existdlog.Parallel
 	}
-	res, err := existdlog.Eval(prog, db, opts)
-	if err != nil {
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := existdlog.EvalContext(ctx, prog, db, opts)
+	if err != nil && (res == nil || !res.Partial) {
 		return err
 	}
 	answers := res.Answers(goal)
@@ -221,6 +229,11 @@ func cmdRun(args []string) error {
 			break
 		}
 		fmt.Printf("%s(%s)\n", goal.Key(), strings.Join(row, ","))
+	}
+	if err != nil {
+		// Graceful degradation: a timed-out (or limit-hit) query prints
+		// whatever was soundly derived, marked as partial, and exits 0.
+		fmt.Printf("%%%% partial result (%s)\n", res.Incomplete)
 	}
 	s := res.Stats
 	fmt.Printf("%% %d answers; %d facts derived in %d iterations; %d derivations (%d duplicates); %d join probes; %d rules retired\n",

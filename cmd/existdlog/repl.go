@@ -2,18 +2,24 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 
 	"existdlog"
 	"existdlog/internal/parser"
 )
 
 // cmdRepl runs an interactive session: rules and facts accumulate, and
-// each "?- goal." is optimized and evaluated on the spot.
+// each "?- goal." is optimized and evaluated on the spot. Ctrl-C cancels
+// an in-flight query (printing its partial result); when no query is
+// running, a second Ctrl-C in a row exits.
 func cmdRepl(args []string) error {
 	fs := flag.NewFlagSet("repl", flag.ExitOnError)
 	noopt := fs.Bool("noopt", false, "evaluate queries without optimizing")
@@ -24,7 +30,27 @@ func cmdRepl(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintln(sess.out, "existdlog repl — rules and facts accumulate; '?- goal.' queries; :help for commands")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		armed := false
+		for range sig {
+			if sess.Interrupt() {
+				armed = false // the Ctrl-C went to the query, not the repl
+				continue
+			}
+			if armed {
+				fmt.Fprintln(sess.out)
+				os.Exit(0)
+			}
+			armed = true
+			fmt.Fprintln(sess.out, "\n(press Ctrl-C again to exit)")
+		}
+	}()
+
+	fmt.Fprintln(sess.out, "existdlog repl — rules and facts accumulate; '?- goal.' queries; Ctrl-C cancels a query; :help for commands")
 	return sess.run(os.Stdin)
 }
 
@@ -35,6 +61,27 @@ type replSession struct {
 	facts     []string
 	factCount int // parsed facts (a line may hold several)
 	lastGoal  string
+
+	mu          sync.Mutex
+	cancelQuery context.CancelFunc // non-nil while a query is evaluating
+}
+
+// Interrupt cancels the in-flight query, if any, and reports whether
+// there was one to cancel.
+func (s *replSession) Interrupt() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cancelQuery == nil {
+		return false
+	}
+	s.cancelQuery()
+	return true
+}
+
+func (s *replSession) setCancel(c context.CancelFunc) {
+	s.mu.Lock()
+	s.cancelQuery = c
+	s.mu.Unlock()
 }
 
 func (s *replSession) run(in io.Reader) error {
@@ -169,12 +216,22 @@ func (s *replSession) query(goal string) error {
 		}
 		target = res.Program
 	}
-	res, err := existdlog.Eval(target, db, existdlog.EvalOptions{BooleanCut: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.setCancel(cancel)
+	defer func() {
+		s.setCancel(nil)
+		cancel()
+	}()
+	res, err := existdlog.EvalContext(ctx, target, db, existdlog.EvalOptions{BooleanCut: true})
+	interrupted := false
 	if err != nil {
-		return err
+		if !errors.Is(err, existdlog.ErrCanceled) || res == nil || !res.Partial {
+			return err
+		}
+		interrupted = true
 	}
 	answers := res.Answers(target.Query)
-	if len(answers) == 0 {
+	if len(answers) == 0 && !interrupted {
 		fmt.Fprintln(s.out, "no")
 		return nil
 	}
@@ -188,6 +245,11 @@ func (s *replSession) query(goal string) error {
 		} else {
 			fmt.Fprintf(s.out, "%s(%s)\n", target.Query.Key(), strings.Join(row, ","))
 		}
+	}
+	if interrupted {
+		fmt.Fprintf(s.out, "%%%% interrupted — partial result: %d answers so far, %d facts derived, %d iterations\n",
+			len(answers), res.Stats.FactsDerived, res.Stats.Iterations)
+		return nil
 	}
 	fmt.Fprintf(s.out, "%% %d answers, %d facts derived, %d iterations\n",
 		len(answers), res.Stats.FactsDerived, res.Stats.Iterations)

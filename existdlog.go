@@ -28,8 +28,11 @@
 package existdlog
 
 import (
+	"context"
+
 	"existdlog/internal/ast"
 	"existdlog/internal/engine"
+	"existdlog/internal/ierr"
 	"existdlog/internal/parser"
 )
 
@@ -56,6 +59,25 @@ type (
 	Stats = engine.Stats
 	// Tree is a derivation tree reconstructed from provenance.
 	Tree = engine.Tree
+	// InternalError is a recovered library panic: no exported entry point
+	// (parser, optimizer, engine) lets a panic escape; bugs surface as an
+	// *InternalError carrying the panic value and its stack.
+	InternalError = ierr.InternalError
+	// ArityMismatchError reports a predicate used with two different
+	// arities; errors.Is(err, ErrArityMismatch) matches it.
+	ArityMismatchError = engine.ArityMismatchError
+)
+
+// Sentinel errors surfaced by evaluation. ErrCanceled and ErrDeadline wrap
+// the context cause and are matched with errors.Is; when either (or a
+// limit) aborts an evaluation, the returned result is non-nil with
+// Result.Partial set — the soundly derived prefix of the fixpoint.
+var (
+	ErrCanceled       = engine.ErrCanceled
+	ErrDeadline       = engine.ErrDeadline
+	ErrFactLimit      = engine.ErrFactLimit
+	ErrIterationLimit = engine.ErrIterationLimit
+	ErrArityMismatch  = engine.ErrArityMismatch
 )
 
 // Evaluation strategies.
@@ -89,9 +111,19 @@ func MustParseProgram(src string) *Program { return parser.MustParseProgram(src)
 func NewDatabase() *Database { return engine.NewDatabase() }
 
 // Eval evaluates a program bottom-up over the database (which is not
-// mutated) and returns the derived relations and statistics.
+// mutated) and returns the derived relations and statistics. It cannot be
+// interrupted; production callers should prefer EvalContext.
 func Eval(p *Program, db *Database, opt EvalOptions) (*EvalResult, error) {
 	return engine.Eval(p, db, opt)
+}
+
+// EvalContext is Eval under a context: per-query deadlines and
+// cancellation are honored at every fixpoint pass barrier and at bounded
+// intervals mid-pass, so aborting a blown-up query returns promptly with
+// ErrCanceled or ErrDeadline and a non-nil partial result (Partial set,
+// Incomplete naming the reason) holding everything soundly derived so far.
+func EvalContext(ctx context.Context, p *Program, db *Database, opt EvalOptions) (*EvalResult, error) {
+	return engine.EvalContext(ctx, p, db, opt)
 }
 
 // Update incrementally maintains a previous evaluation under newly added
@@ -102,9 +134,22 @@ func Update(p *Program, prev *EvalResult, added *Database, opt EvalOptions) (*Ev
 	return engine.Update(p, prev, added, opt)
 }
 
+// UpdateContext is Update under a context, with EvalContext's cancellation
+// and partial-result semantics.
+func UpdateContext(ctx context.Context, p *Program, prev *EvalResult, added *Database, opt EvalOptions) (*EvalResult, error) {
+	return engine.UpdateContext(ctx, p, prev, added, opt)
+}
+
 // Retract incrementally removes base facts from a previous evaluation
 // using delete-and-rederive (DRed): over-deleted facts with surviving
 // alternative derivations are restored. Positive programs only.
 func Retract(p *Program, prev *EvalResult, removed *Database, opt EvalOptions) (*EvalResult, error) {
 	return engine.Retract(p, prev, removed, opt)
+}
+
+// RetractContext is Retract under a context. Note that an aborted
+// retraction's partial result may over-approximate (deletions not fully
+// propagated); see engine.RetractContext.
+func RetractContext(ctx context.Context, p *Program, prev *EvalResult, removed *Database, opt EvalOptions) (*EvalResult, error) {
+	return engine.RetractContext(ctx, p, prev, removed, opt)
 }

@@ -1,11 +1,32 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"existdlog/internal/ast"
 )
+
+// ErrArityMismatch is the sentinel matched (via errors.Is) by every arity
+// mismatch the database reports, whether returned directly from AddAtom or
+// carried out of an internal invariant violation by an InternalError.
+var ErrArityMismatch = errors.New("engine: relation arity mismatch")
+
+// ArityMismatchError reports a relation addressed with the wrong arity: Key
+// already exists with arity Have, but a tuple or lookup of arity Want was
+// applied to it. errors.Is(err, ErrArityMismatch) matches it.
+type ArityMismatchError struct {
+	Key  string
+	Want int // the arity requested
+	Have int // the arity the existing relation has
+}
+
+func (e *ArityMismatchError) Error() string {
+	return fmt.Sprintf("engine: relation %s: arity %d requested, have %d", e.Key, e.Want, e.Have)
+}
+
+func (e *ArityMismatchError) Is(target error) bool { return target == ErrArityMismatch }
 
 // Database is a set of named relations sharing one constant interner. It
 // serves both as the extensional database and as the output of an
@@ -21,12 +42,16 @@ func NewDatabase() *Database {
 }
 
 // Relation returns the relation for key, creating an empty one of the
-// given arity if absent. It panics on an arity mismatch with an existing
-// relation: that is a programming error upstream.
+// given arity if absent. A mismatch with an existing relation is a
+// programming error upstream, raised as a typed *ArityMismatchError panic;
+// the API boundaries (Eval, Parse, …) recover it into a returned error
+// that still matches errors.Is(err, ErrArityMismatch). Input-validating
+// paths (AddAtom, LoadCSV) check arities before insertion and return the
+// error directly instead.
 func (db *Database) Relation(key string, arity int) *Relation {
 	if r, ok := db.rels[key]; ok {
 		if r.Arity() != arity {
-			panic(fmt.Sprintf("relation %s: arity %d requested, have %d", key, arity, r.Arity()))
+			panic(&ArityMismatchError{Key: key, Want: arity, Have: r.Arity()})
 		}
 		return r
 	}
@@ -67,7 +92,19 @@ func (db *Database) Add(key string, consts ...string) bool {
 	return db.Relation(key, len(consts)).Insert(t)
 }
 
-// AddAtom inserts a ground atom as a fact.
+// CheckArity returns a typed *ArityMismatchError when relation key exists
+// with a different arity, nil otherwise. Input paths call it before
+// inserting so malformed data surfaces as an error, not a panic.
+func (db *Database) CheckArity(key string, arity int) error {
+	if r, ok := db.rels[key]; ok && r.Arity() != arity {
+		return &ArityMismatchError{Key: key, Want: arity, Have: r.Arity()}
+	}
+	return nil
+}
+
+// AddAtom inserts a ground atom as a fact. Facts whose predicate already
+// exists with a different arity are rejected with an error matching
+// ErrArityMismatch.
 func (db *Database) AddAtom(a ast.Atom) error {
 	consts := make([]string, len(a.Args))
 	for i, t := range a.Args {
@@ -75,6 +112,9 @@ func (db *Database) AddAtom(a ast.Atom) error {
 			return fmt.Errorf("fact %s is not ground", a)
 		}
 		consts[i] = t.Name
+	}
+	if err := db.CheckArity(a.Key(), len(consts)); err != nil {
+		return fmt.Errorf("fact %s: %w", a, err)
 	}
 	db.Add(a.Key(), consts...)
 	return nil

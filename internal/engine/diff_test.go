@@ -39,6 +39,7 @@ func orderedFacts(res *Result, key string) [][]string {
 // Run under -race in CI this also exercises the concurrent index builds
 // and symbol interning.
 func TestStrategiesAgree(t *testing.T) {
+	defer checkNoLeakedGoroutines(t)()
 	rng := rand.New(rand.NewSource(424242))
 	trials := 220
 	for trial := 0; trial < trials; trial++ {

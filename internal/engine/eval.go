@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -9,6 +10,8 @@ import (
 	"sync/atomic"
 
 	"existdlog/internal/ast"
+	"existdlog/internal/failpoint"
+	"existdlog/internal/ierr"
 )
 
 // Strategy selects the fixpoint evaluation algorithm.
@@ -73,6 +76,38 @@ var ErrFactLimit = errors.New("engine: derived fact limit exceeded")
 // ErrIterationLimit is returned when MaxIterations is exceeded.
 var ErrIterationLimit = errors.New("engine: iteration limit exceeded")
 
+// ErrCanceled is returned (wrapped around the context cause) when the
+// evaluation context is canceled mid-fixpoint.
+var ErrCanceled = errors.New("engine: evaluation canceled")
+
+// ErrDeadline is returned (wrapped around the context cause) when the
+// evaluation context's deadline expires mid-fixpoint.
+var ErrDeadline = errors.New("engine: evaluation deadline exceeded")
+
+// Failpoint names compiled into the engine (active only under the
+// failpoint build tag; see internal/failpoint). The catalog is documented
+// in DESIGN.md §7.
+const (
+	// FPPass fires at every pass barrier, before the pass fans out.
+	FPPass = "engine/pass"
+	// FPMerge fires at the merge barrier, before buffered emissions land.
+	FPMerge = "engine/merge"
+	// FPInsert fires on every derived-fact insert during a merge.
+	FPInsert = "engine/insert"
+	// FPSpawn fires before each parallel worker goroutine is spawned.
+	FPSpawn = "engine/spawn"
+	// FPWorker fires inside rule-version evaluation, on the worker
+	// goroutine under the Parallel strategy — the place to inject worker
+	// panics and mid-pass delays.
+	FPWorker = "engine/worker"
+)
+
+// ctxCheckInterval is how many units of mid-pass work (join probes and
+// merge inserts) may elapse between cancellation checks. Small enough that
+// aborts land well within the documented 100ms bound on real workloads,
+// large enough that the per-probe cost is one predictable branch.
+const ctxCheckInterval = 1024
+
 // Stats are the evaluation counters reported by the benchmarks. The paper
 // argues arity reduction cuts both the facts produced and the duplicate
 // elimination cost, so both are counted explicitly. The counters are
@@ -106,7 +141,17 @@ type Result struct {
 	// database is never mutated.
 	DB    *Database
 	Stats Stats
-	prov  map[string]map[string]Justification
+	// Partial reports that the evaluation stopped before reaching the
+	// fixpoint — canceled, past a deadline, over a limit, or aborted by an
+	// injected fault. Every fact in DB is still soundly derived (the
+	// partial database is a subset of the full fixpoint for cut-free runs),
+	// and Stats exactly describe DB, but answers may be missing.
+	Partial bool
+	// Incomplete names why a Partial result stopped early: "canceled",
+	// "deadline exceeded", "fact limit exceeded", "iteration limit
+	// exceeded", or the abort error's message.
+	Incomplete string
+	prov       map[string]map[string]Justification
 }
 
 // builtinKind enumerates the arithmetic/comparison builtins available to
@@ -174,7 +219,12 @@ type emission struct {
 }
 
 type evaluator struct {
-	opt     Options
+	opt Options
+	// ctx bounds the evaluation; done caches ctx.Done() and is nil for
+	// non-cancelable contexts, reducing every cancellation check to one
+	// nil comparison on the hot path.
+	ctx     context.Context
+	done    <-chan struct{}
 	out     *Database
 	plans   []*rulePlan
 	active  []bool
@@ -207,6 +257,82 @@ type runner struct {
 	colsBuf   [][]int
 	valsBuf   []Tuple
 	newlyBuf  [][]int
+	// budget counts down mid-pass work units to the next cancellation
+	// check (see ctxCheckInterval).
+	budget int
+}
+
+// tick is the mid-pass cancellation point: called once per join probe and
+// per merge insert, it checks the context every ctxCheckInterval units so
+// an abort lands with bounded latency even inside one enormous pass.
+func (r *runner) tick() error {
+	if r.ev.done == nil {
+		return nil
+	}
+	r.budget--
+	if r.budget > 0 {
+		return nil
+	}
+	r.budget = ctxCheckInterval
+	return r.ev.checkCtx()
+}
+
+// checkCtx is the pass-barrier cancellation point. It returns nil while
+// the context is live and ErrCanceled/ErrDeadline wrapped around the
+// context cause once it is not.
+func (ev *evaluator) checkCtx() error {
+	if ev.done == nil {
+		return nil
+	}
+	select {
+	case <-ev.done:
+		return ev.ctxErr()
+	default:
+		return nil
+	}
+}
+
+func (ev *evaluator) ctxErr() error {
+	err := ev.ctx.Err()
+	if err == nil {
+		return nil
+	}
+	sentinel := ErrCanceled
+	if errors.Is(err, context.DeadlineExceeded) {
+		sentinel = ErrDeadline
+	}
+	if cause := context.Cause(ev.ctx); cause != nil {
+		return fmt.Errorf("%w: %w", sentinel, cause)
+	}
+	return fmt.Errorf("%w: %w", sentinel, err)
+}
+
+// incompleteReason renders an abort error as Result.Incomplete.
+func incompleteReason(err error) string {
+	switch {
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrDeadline):
+		return "deadline exceeded"
+	case errors.Is(err, ErrFactLimit):
+		return "fact limit exceeded"
+	case errors.Is(err, ErrIterationLimit):
+		return "iteration limit exceeded"
+	}
+	return err.Error()
+}
+
+// finish packages the evaluator's state as a Result. Runtime aborts return
+// the partial database — everything soundly derived up to the abort, with
+// Stats exactly describing it — alongside the error, so callers can use
+// the prefix (graceful degradation) or discard it.
+func (ev *evaluator) finish(evalErr error) (*Result, error) {
+	res := &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}
+	if evalErr != nil {
+		res.Partial = true
+		res.Incomplete = incompleteReason(evalErr)
+	}
+	return res, evalErr
 }
 
 // Eval evaluates program p bottom-up over the extensional database edb and
@@ -214,7 +340,25 @@ type runner struct {
 // mutated. Facts present in edb for derived predicates are honored as
 // seeds, which is what the uniform-equivalence tests of Sections 3.3-5
 // require ("Input = an instance of the DB", IDB predicates included).
+// Eval cannot be interrupted; use EvalContext to bound a query.
 func Eval(p *ast.Program, edb *Database, opt Options) (*Result, error) {
+	return EvalContext(context.Background(), p, edb, opt)
+}
+
+// EvalContext is Eval under a context: cancellation and deadline are
+// checked at every pass barrier and every ctxCheckInterval units of
+// mid-pass work, so an aborted query returns within a bounded latency with
+// ErrCanceled or ErrDeadline (wrapped around the context cause) and a
+// partial Result — the soundly derived prefix of the fixpoint, with
+// Result.Partial set and Stats exactly describing the partial database.
+// Limit aborts (ErrFactLimit, ErrIterationLimit) return partial results
+// the same way. Internal panics are recovered into a *ierr.InternalError
+// instead of crossing the API boundary.
+func EvalContext(ctx context.Context, p *ast.Program, edb *Database, opt Options) (res *Result, err error) {
+	defer ierr.Rescue(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.MaxIterations == 0 {
 		opt.MaxIterations = 1 << 20
 	}
@@ -223,6 +367,8 @@ func Eval(p *ast.Program, edb *Database, opt Options) (*Result, error) {
 	}
 	ev := &evaluator{
 		opt:      opt,
+		ctx:      ctx,
+		done:     ctx.Done(),
 		out:      edb.Clone(),
 		derived:  p.Derived,
 		arity:    make(map[string]int),
@@ -238,16 +384,13 @@ func Eval(p *ast.Program, edb *Database, opt Options) (*Result, error) {
 	if err := ev.compile(p); err != nil {
 		return nil, err
 	}
-	var err error
+	var evalErr error
 	if opt.Strategy == Naive {
-		err = ev.runNaive()
+		evalErr = ev.runNaive()
 	} else {
-		err = ev.runSemiNaive()
+		evalErr = ev.runSemiNaive()
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+	return ev.finish(evalErr)
 }
 
 func builtinFor(name string, arity int) builtinKind {
@@ -264,19 +407,38 @@ func builtinFor(name string, arity int) builtinKind {
 
 func (ev *evaluator) compile(p *ast.Program) error {
 	// Record arities of every predicate and materialize derived relations
-	// so that empty derived predicates exist in the output.
-	note := func(a ast.Atom) {
-		if _, ok := ev.arity[a.Key()]; !ok {
-			ev.arity[a.Key()] = a.Arity()
+	// so that empty derived predicates exist in the output. Conflicts —
+	// between two uses in the program, or between a use and the database —
+	// are rejected here with the typed arity error rather than discovered
+	// as a panic mid-evaluation.
+	note := func(a ast.Atom) error {
+		if n, ok := ev.arity[a.Key()]; ok {
+			if n != a.Arity() {
+				return fmt.Errorf("atom %s: %w", a, &ArityMismatchError{Key: a.Key(), Want: a.Arity(), Have: n})
+			}
+			return nil
 		}
+		if err := ev.out.CheckArity(a.Key(), a.Arity()); err != nil {
+			return fmt.Errorf("atom %s: %w", a, err)
+		}
+		ev.arity[a.Key()] = a.Arity()
+		return nil
 	}
 	for _, r := range p.Rules {
-		note(r.Head)
+		if err := note(r.Head); err != nil {
+			return err
+		}
 		for _, b := range r.Body {
-			note(b)
+			if err := note(b); err != nil {
+				return err
+			}
 		}
 	}
-	note(p.Query)
+	if p.Query.Pred != "" {
+		if err := note(p.Query); err != nil {
+			return err
+		}
+	}
 	for key := range ev.derived {
 		if n, ok := ev.arity[key]; ok {
 			ev.out.Relation(key, n)
@@ -533,6 +695,12 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			li = order[step]
 		}
 		if step == len(plan.body) {
+			// Emission site: also a cancellation point, so rules whose last
+			// literal scans a huge relation (many emissions per probe)
+			// still abort promptly.
+			if err := r.tick(); err != nil {
+				return err
+			}
 			head := make(Tuple, len(plan.head))
 			for i, a := range plan.head {
 				if a.isConst {
@@ -569,6 +737,9 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			// relation. Safety has bound every named variable; remaining
 			// unbound positions are anonymous wildcards.
 			r.stats.JoinProbes++
+			if err := r.tick(); err != nil {
+				return err
+			}
 			if len(rel.Match(cols, cvals)) == 0 {
 				if ev.opt.TrackProvenance {
 					r.bodyFacts[li] = FactRef{}
@@ -578,6 +749,9 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			return nil
 		}
 		r.stats.JoinProbes++
+		if err := r.tick(); err != nil {
+			return err
+		}
 		for _, ti := range rel.Match(cols, cvals) {
 			t := rel.Tuple(ti)
 			newly := r.newlyBuf[step][:0]
@@ -706,10 +880,37 @@ func (r *runner) evalVersion(plan *rulePlan, occ int) ([]emission, error) {
 	return buf, nil
 }
 
+// runVersion is evalVersion behind the engine's fault bulkhead: a panic
+// during rule-version evaluation (a bug, or an injected FPWorker panic on
+// a parallel worker) is recovered into a stack-carrying *ierr.InternalError
+// instead of killing the goroutine, so the pass fails like any other
+// errored version — surfaced once, workers drained, partial result kept.
+func (r *runner) runVersion(plan *rulePlan, occ int) (buf []emission, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			buf, err = nil, ierr.New(rec)
+		}
+	}()
+	if err := failpoint.Inject(FPWorker); err != nil {
+		return nil, err
+	}
+	return r.evalVersion(plan, occ)
+}
+
 // insertDerived adds a head tuple to the full relation (and the "next"
 // delta for semi-naive), maintaining counters, limits, and provenance.
 func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, collectNext bool) error {
 	ev.stats.Derivations++
+	// Merge-side cancellation point (the merge of a huge pass can itself
+	// take a while) and fault-injection site. Aborting mid-merge is sound:
+	// the facts already inserted are valid consequences, and Stats count
+	// exactly them.
+	if err := ev.run.tick(); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FPInsert); err != nil {
+		return err
+	}
 	rel := ev.out.Relation(plan.headKey, len(head))
 	// MaxFacts is exact: the insert that would exceed the limit is
 	// rejected before it lands, so FactsDerived never overshoots — the
@@ -767,6 +968,14 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 	if len(versions) == 0 {
 		return nil
 	}
+	// Pass barrier: cancellation is always checked here, and the FPPass
+	// failpoint can abort a build under test before the pass fans out.
+	if err := ev.checkCtx(); err != nil {
+		return err
+	}
+	if err := failpoint.Inject(FPPass); err != nil {
+		return err
+	}
 	// Fill the per-plan join-order cache up front on this goroutine:
 	// workers then only read it, and the cached order is the same one
 	// sequential evaluation would compute (sizes are stable in a pass).
@@ -785,7 +994,7 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 	if workers <= 1 {
 		r := &ev.run
 		for vi, v := range versions {
-			bufs[vi], errs[vi] = r.evalVersion(ev.plans[v.pi], v.occ)
+			bufs[vi], errs[vi] = r.runVersion(ev.plans[v.pi], v.occ)
 			if errs[vi] != nil {
 				break // the pass fails; later versions are moot
 			}
@@ -793,32 +1002,58 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 	} else {
 		var cursor atomic.Int64
 		var wg sync.WaitGroup
+		// failed flips on the first errored version; the other workers
+		// finish their current version and drain, rather than burning CPU
+		// on a pass whose result is already an error. In fault-free runs
+		// it never flips, so the fan-out behaves exactly as before.
+		var failed atomic.Bool
 		local := make([]Stats, workers)
+		spawnErr := error(nil)
+		spawned := 0
 		for w := 0; w < workers; w++ {
+			if err := failpoint.Inject(FPSpawn); err != nil {
+				spawnErr = err
+				break
+			}
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
 				r := runner{ev: ev, stats: &local[w]}
 				for {
+					if failed.Load() || ev.checkCtx() != nil {
+						return
+					}
 					vi := int(cursor.Add(1)) - 1
 					if vi >= len(versions) {
 						return
 					}
 					v := versions[vi]
-					bufs[vi], errs[vi] = r.evalVersion(ev.plans[v.pi], v.occ)
+					bufs[vi], errs[vi] = r.runVersion(ev.plans[v.pi], v.occ)
+					if errs[vi] != nil {
+						failed.Store(true)
+						return
+					}
 				}
 			}(w)
+			spawned++
 		}
 		wg.Wait()
 		// Probe counts are additive, so the sum over workers equals the
 		// sequential total regardless of how versions were distributed.
-		for w := range local {
+		for w := 0; w < spawned; w++ {
 			ev.stats.JoinProbes += local[w].JoinProbes
+		}
+		if spawnErr != nil {
+			return spawnErr
 		}
 	}
 	// Merge barrier: versions in order, emissions in the order their
 	// version produced them. The first errored version aborts the
-	// evaluation (same error sequential execution would surface).
+	// evaluation (same error sequential execution would surface; under
+	// faults, the first failure in version order, surfaced exactly once).
+	if err := failpoint.Inject(FPMerge); err != nil {
+		return err
+	}
 	for vi, v := range versions {
 		if errs[vi] != nil {
 			return errs[vi]
@@ -830,7 +1065,9 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 			}
 		}
 	}
-	return nil
+	// A cancellation that arrived while workers were finishing is reported
+	// at the latest here, keeping abort latency within one pass tail.
+	return ev.checkCtx()
 }
 
 func (ev *evaluator) runNaive() error {
@@ -844,6 +1081,15 @@ func (ev *evaluator) runNaive() error {
 
 func (ev *evaluator) runNaiveStratum(level int) error {
 	for {
+		// Naive passes have no runPass barrier, so the iteration head is
+		// their cancellation point (mid-pass ticks cover the rest) and
+		// their FPPass site.
+		if err := ev.checkCtx(); err != nil {
+			return err
+		}
+		if err := failpoint.Inject(FPPass); err != nil {
+			return err
+		}
 		ev.stats.Iterations++
 		if ev.stats.Iterations > ev.opt.MaxIterations {
 			return ErrIterationLimit

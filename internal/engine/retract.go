@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"existdlog/internal/ast"
+	"existdlog/internal/ierr"
 )
 
 // Retract removes base facts from a previous evaluation result and brings
@@ -21,6 +23,20 @@ import (
 // removed may only name base predicates. prev must come from Eval, Update
 // or Retract of the same program.
 func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Result, error) {
+	return RetractContext(context.Background(), p, prev, removed, opt)
+}
+
+// RetractContext is Retract under a context, checked at every loop
+// barrier. Caution on aborts: unlike EvalContext, a Result with Partial
+// set here can OVER-approximate the post-retraction fixpoint — DRed may
+// not have finished propagating deletions — so a partial retract result is
+// diagnostic, not a sound database; callers needing soundness should
+// re-evaluate from scratch.
+func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *Database, opt Options) (res *Result, err error) {
+	defer ierr.Rescue(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.MaxIterations == 0 {
 		opt.MaxIterations = 1 << 20
 	}
@@ -38,6 +54,8 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 
 	ev := &evaluator{
 		opt:      opt,
+		ctx:      ctx,
+		done:     ctx.Done(),
 		out:      prev.DB.Clone(),
 		derived:  p.Derived,
 		arity:    make(map[string]int),
@@ -106,15 +124,18 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 		}
 	}
 	if len(ev.deltas) == 0 {
-		return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+		return ev.finish(nil)
 	}
 
 	// Phase 1 — over-delete, semi-naively against PRE-deletion relations:
 	// a head is marked if some rule instance uses a marked fact.
 	for len(ev.deltas) > 0 {
+		if err := ev.checkCtx(); err != nil {
+			return ev.finish(err)
+		}
 		ev.stats.Iterations++
 		if ev.stats.Iterations > ev.opt.MaxIterations {
-			return nil, ErrIterationLimit
+			return ev.finish(ErrIterationLimit)
 		}
 		ev.next = make(map[string]*Relation)
 		for pi, plan := range ev.plans {
@@ -138,7 +159,7 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 					return nil
 				})
 				if err != nil {
-					return nil, err
+					return ev.finish(err)
 				}
 			}
 		}
@@ -191,14 +212,17 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return ev.finish(err)
 		}
 	}
 	ev.deltas = ev.next
 	for len(ev.deltas) > 0 {
+		if err := ev.checkCtx(); err != nil {
+			return ev.finish(err)
+		}
 		ev.stats.Iterations++
 		if ev.stats.Iterations > ev.opt.MaxIterations {
-			return nil, ErrIterationLimit
+			return ev.finish(ErrIterationLimit)
 		}
 		ev.next = make(map[string]*Relation)
 		for pi, plan := range ev.plans {
@@ -213,11 +237,11 @@ func Retract(p *ast.Program, prev *Result, removed *Database, opt Options) (*Res
 					return ev.insertDerived(plan, t, just, true)
 				})
 				if err != nil {
-					return nil, err
+					return ev.finish(err)
 				}
 			}
 		}
 		ev.deltas = ev.next
 	}
-	return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+	return ev.finish(nil)
 }

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"existdlog/internal/ast"
+	"existdlog/internal/ierr"
 )
 
 // Update extends a previous evaluation result with newly added base facts
@@ -22,6 +24,17 @@ import (
 // same options; provenance continuity is preserved when TrackProvenance
 // was set there.
 func Update(p *ast.Program, prev *Result, added *Database, opt Options) (*Result, error) {
+	return UpdateContext(context.Background(), p, prev, added, opt)
+}
+
+// UpdateContext is Update under a context, with the same cancellation
+// points and partial-result semantics as EvalContext: an abort returns the
+// soundly maintained prefix with Result.Partial set.
+func UpdateContext(ctx context.Context, p *ast.Program, prev *Result, added *Database, opt Options) (res *Result, err error) {
+	defer ierr.Rescue(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opt.MaxIterations == 0 {
 		opt.MaxIterations = 1 << 20
 	}
@@ -39,6 +52,8 @@ func Update(p *ast.Program, prev *Result, added *Database, opt Options) (*Result
 
 	ev := &evaluator{
 		opt:      opt,
+		ctx:      ctx,
+		done:     ctx.Done(),
 		out:      prev.DB.Clone(),
 		derived:  p.Derived,
 		arity:    make(map[string]int),
@@ -80,15 +95,18 @@ func Update(p *ast.Program, prev *Result, added *Database, opt Options) (*Result
 		}
 	}
 	if len(ev.deltas) == 0 {
-		return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+		return ev.finish(nil)
 	}
 
 	// Delta loop only — no startup pass: everything derivable without the
 	// additions is already in prev.
 	for len(ev.deltas) > 0 {
+		if err := ev.checkCtx(); err != nil {
+			return ev.finish(err)
+		}
 		ev.stats.Iterations++
 		if ev.stats.Iterations > ev.opt.MaxIterations {
-			return nil, ErrIterationLimit
+			return ev.finish(ErrIterationLimit)
 		}
 		ev.next = make(map[string]*Relation)
 		for pi, plan := range ev.plans {
@@ -103,12 +121,12 @@ func Update(p *ast.Program, prev *Result, added *Database, opt Options) (*Result
 					return ev.insertDerived(plan, t, just, true)
 				})
 				if err != nil {
-					return nil, err
+					return ev.finish(err)
 				}
 			}
 		}
 		ev.deltas = ev.next
 		ev.applyCut()
 	}
-	return &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}, nil
+	return ev.finish(nil)
 }

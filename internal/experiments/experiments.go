@@ -9,6 +9,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -53,13 +55,27 @@ type Experiment struct {
 
 // Run evaluates the full table.
 func (e *Experiment) Run() ([]harness.Row, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext evaluates the table under a context. On cancellation or
+// deadline expiry it returns the rows measured so far — including a
+// partial-marked row for the evaluation that was cut — alongside the
+// context error, so a deadline-bounded bench renders what it completed.
+func (e *Experiment) RunContext(ctx context.Context) ([]harness.Row, error) {
 	var rows []harness.Row
 	for _, wl := range e.Workloads {
 		db := wl.Build()
 		var answers = -1
 		for _, v := range e.Variants {
-			row, err := harness.Run(e.ID, wl.Name, v.Name, v.Program, db, v.Opts)
+			row, err := harness.RunContext(ctx, e.ID, wl.Name, v.Name, v.Program, db, v.Opts)
 			if err != nil {
+				if errors.Is(err, engine.ErrCanceled) || errors.Is(err, engine.ErrDeadline) {
+					if row.Variant != "" {
+						rows = append(rows, row)
+					}
+					return rows, err
+				}
 				return nil, err
 			}
 			rows = append(rows, row)

@@ -1,0 +1,32 @@
+//go:build !failpoint
+
+package failpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDisabledBuildIsInert pins the default-build contract: every hook is a
+// no-op even after Enable, so production binaries cannot be made to
+// misbehave and the Inject calls in the engine cost nothing.
+func TestDisabledBuildIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the failpoint build tag")
+	}
+	EnableError("x", errors.New("boom"), 1)
+	EnableDelay("x", time.Second, 1)
+	EnablePanic("x", 1)
+	Enable("x", Config{Act: ActError, Err: errors.New("boom")})
+	for i := 0; i < 3; i++ {
+		if err := Inject("x"); err != nil {
+			t.Fatalf("Inject fired in the default build: %v", err)
+		}
+	}
+	if Hits("x") != 0 {
+		t.Fatal("Hits must stay zero in the default build")
+	}
+	Disable("x")
+	Reset()
+}

@@ -1,0 +1,24 @@
+//go:build !failpoint
+
+package failpoint
+
+import "time"
+
+// Enabled reports whether this binary was built with the failpoint tag.
+const Enabled = false
+
+// Inject is a no-op in the default build; the constant nil return lets the
+// compiler inline and eliminate the call at every site.
+func Inject(string) error { return nil }
+
+// The registry management functions are inert no-ops in the default build
+// so that code shared between normal and failpoint test binaries compiles
+// unchanged.
+
+func Enable(string, Config)                  {}
+func EnableError(string, error, int)         {}
+func EnableDelay(string, time.Duration, int) {}
+func EnablePanic(string, int)                {}
+func Disable(string)                         {}
+func Reset()                                 {}
+func Hits(string) int64                      { return 0 }

@@ -1,0 +1,125 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Enabled reports whether this binary was built with the failpoint tag.
+const Enabled = true
+
+type point struct {
+	cfg   Config
+	rng   *rand.Rand
+	hits  int64
+	fired int
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*point{}
+	hits   = map[string]int64{} // hit counts survive Disable, for assertions
+)
+
+// Enable arms name with cfg, resetting its hit and firing counters.
+func Enable(name string, cfg Config) {
+	mu.Lock()
+	defer mu.Unlock()
+	p := &point{cfg: cfg}
+	if cfg.Prob > 0 {
+		p.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	points[name] = p
+	hits[name] = 0
+}
+
+// EnableError arms name to return err starting at the after-th hit.
+func EnableError(name string, err error, after int) {
+	Enable(name, Config{Act: ActError, Err: err, After: after})
+}
+
+// EnableDelay arms name to sleep d starting at the after-th hit.
+func EnableDelay(name string, d time.Duration, after int) {
+	Enable(name, Config{Act: ActDelay, Delay: d, After: after})
+}
+
+// EnablePanic arms name to panic starting at the after-th hit.
+func EnablePanic(name string, after int) {
+	Enable(name, Config{Act: ActPanic, After: after})
+}
+
+// Disable disarms name; its accumulated hit count remains readable.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+}
+
+// Reset disarms every failpoint and zeroes all hit counts.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	hits = map[string]int64{}
+}
+
+// Hits returns how many times name's site has been reached since the last
+// Enable/Reset (enabled or not — disabled sites count zero because Inject
+// short-circuits before accounting).
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[name]
+}
+
+// Inject is the hook compiled into program sites. When name is armed and
+// the schedule says "fire", it performs the configured action; otherwise it
+// returns nil. ActPanic panics with a value naming the failpoint so tests
+// can assert which site blew up.
+func Inject(name string) error {
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	hits[name] = p.hits
+	fire := false
+	if p.cfg.Count == 0 || p.fired < p.cfg.Count {
+		if p.cfg.Prob > 0 {
+			fire = p.rng.Float64() < p.cfg.Prob
+		} else {
+			after := int64(p.cfg.After)
+			if after < 1 {
+				after = 1
+			}
+			fire = p.hits >= after
+		}
+	}
+	if fire {
+		p.fired++
+	}
+	cfg := p.cfg
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch cfg.Act {
+	case ActError:
+		if cfg.Err != nil {
+			return cfg.Err
+		}
+		return fmt.Errorf("failpoint %s: injected error", name)
+	case ActDelay:
+		time.Sleep(cfg.Delay)
+		return nil
+	case ActPanic:
+		panic(fmt.Sprintf("failpoint %s: injected panic", name))
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+//go:build failpoint
+
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAfterSchedule(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	EnableError("t/after", boom, 3)
+	for i := 1; i <= 5; i++ {
+		err := Inject("t/after")
+		if i < 3 && err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+		if i >= 3 && err != boom {
+			t.Fatalf("hit %d: err = %v, want boom", i, err)
+		}
+	}
+	if got := Hits("t/after"); got != 5 {
+		t.Fatalf("Hits = %d, want 5", got)
+	}
+}
+
+func TestCountLimitsFirings(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("t/count", Config{Act: ActError, Err: boom, After: 1, Count: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Inject("t/count") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+}
+
+func TestProbDeterministicPerSeed(t *testing.T) {
+	defer Reset()
+	pattern := func(seed int64) string {
+		Enable("t/prob", Config{Act: ActError, Err: errors.New("x"), Prob: 0.5, Seed: seed})
+		s := ""
+		for i := 0; i < 64; i++ {
+			if Inject("t/prob") != nil {
+				s += "1"
+			} else {
+				s += "0"
+			}
+		}
+		return s
+	}
+	a, b := pattern(7), pattern(7)
+	if a != b {
+		t.Fatalf("same seed, different firing patterns:\n%s\n%s", a, b)
+	}
+	if c := pattern(8); c == a {
+		t.Fatalf("different seeds produced the same 64-hit pattern %s", a)
+	}
+}
+
+func TestDelayAndPanicActions(t *testing.T) {
+	defer Reset()
+	EnableDelay("t/delay", 20*time.Millisecond, 1)
+	start := time.Now()
+	if err := Inject("t/delay"); err != nil {
+		t.Fatalf("delay returned error %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay slept only %v", d)
+	}
+	EnablePanic("t/panic", 1)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic action did not panic")
+			}
+			if want := "failpoint t/panic: injected panic"; fmt.Sprint(r) != want {
+				t.Fatalf("panic value %q, want %q", r, want)
+			}
+		}()
+		Inject("t/panic")
+	}()
+}
+
+func TestDisableAndUnknownAreSilent(t *testing.T) {
+	defer Reset()
+	EnableError("t/off", errors.New("x"), 1)
+	Disable("t/off")
+	if err := Inject("t/off"); err != nil {
+		t.Fatalf("disabled point fired: %v", err)
+	}
+	if err := Inject("t/never-enabled"); err != nil {
+		t.Fatalf("unknown point fired: %v", err)
+	}
+}
+
+// TestConcurrentInject exercises the registry under -race: many goroutines
+// hammering one armed point must account every hit exactly once.
+func TestConcurrentInject(t *testing.T) {
+	defer Reset()
+	EnableError("t/conc", errors.New("x"), 1000000) // never fires
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				Inject("t/conc")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := Hits("t/conc"); got != workers*per {
+		t.Fatalf("Hits = %d, want %d", got, workers*per)
+	}
+}

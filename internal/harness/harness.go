@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -33,12 +34,28 @@ type Row struct {
 
 // Run evaluates p over db and returns the filled row.
 func Run(experiment, workload, variant string, p *ast.Program, db *engine.Database, opts engine.Options) (Row, error) {
+	return RunContext(context.Background(), experiment, workload, variant, p, db, opts)
+}
+
+// RunContext is Run under a context. An aborted evaluation (cancellation,
+// deadline, limit) still returns a filled row — the measurements of the
+// partial result, with the variant marked — alongside the error, so
+// deadline-bounded suites can render what they measured before the cut.
+func RunContext(ctx context.Context, experiment, workload, variant string, p *ast.Program, db *engine.Database, opts engine.Options) (Row, error) {
 	start := time.Now()
-	res, err := engine.Eval(p, db, opts)
+	res, err := engine.EvalContext(ctx, p, db, opts)
 	if err != nil {
-		return Row{}, fmt.Errorf("%s/%s/%s: %w", experiment, workload, variant, err)
+		if res == nil || !res.Partial {
+			return Row{}, fmt.Errorf("%s/%s/%s: %w", experiment, workload, variant, err)
+		}
+		row := fill(experiment, workload, variant+" (partial)", p, res, time.Since(start))
+		return row, fmt.Errorf("%s/%s/%s: %w", experiment, workload, variant, err)
 	}
 	elapsed := time.Since(start)
+	return fill(experiment, workload, variant, p, res, elapsed), nil
+}
+
+func fill(experiment, workload, variant string, p *ast.Program, res *engine.Result, elapsed time.Duration) Row {
 	return Row{
 		Experiment: experiment,
 		Workload:   workload,
@@ -51,7 +68,7 @@ func Run(experiment, workload, variant string, p *ast.Program, db *engine.Databa
 		Iters:      res.Stats.Iterations,
 		Retired:    res.Stats.RulesRetired,
 		Elapsed:    elapsed,
-	}, nil
+	}
 }
 
 // WriteTable renders rows as an aligned text table.

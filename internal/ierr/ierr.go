@@ -1,0 +1,69 @@
+// Package ierr converts panics crossing an API boundary into errors. The
+// engine, parser, and facade entry points defer Rescue so that a bug (or an
+// injected failpoint panic) inside the library surfaces to callers as a
+// *InternalError carrying the panic value and the stack at the panic site,
+// never as a crashed process. Internal invariant violations are still
+// raised with panic — Rescue is the boundary that turns them into values.
+package ierr
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// InternalError wraps a recovered panic. It satisfies error, and Unwrap
+// exposes the panic value when it was itself an error, so errors.Is/As see
+// through to typed causes (e.g. engine.ErrArityMismatch).
+type InternalError struct {
+	// Recovered is the value the panic was raised with.
+	Recovered any
+	// Stack is the formatted goroutine stack captured at recovery time,
+	// which — because deferred functions run before the stack unwinds —
+	// includes the frames of the panic site.
+	Stack []byte
+}
+
+// New wraps a recovered panic value. Call it from inside a deferred
+// function, after recover, so the captured stack still holds the panic
+// frames.
+func New(recovered any) *InternalError {
+	return &InternalError{Recovered: recovered, Stack: debug.Stack()}
+}
+
+// Error renders the panic value; the stack is kept structured rather than
+// flattened into the message so logs can choose how much to print.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("internal error: %v", e.Recovered)
+}
+
+// Unwrap exposes the panic value when it was an error.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Recovered.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Rescue recovers a panic and stores it in *errp as an *InternalError.
+// Use as the first deferred call of an exported entry point:
+//
+//	func Eval(...) (res *Result, err error) {
+//		defer ierr.Rescue(&err)
+//		...
+//	}
+//
+// A panic that already carries an *InternalError (e.g. re-raised from a
+// lower boundary) is stored as-is, keeping the innermost stack.
+func Rescue(errp *error) {
+	if r := recover(); r != nil {
+		if err, ok := r.(error); ok {
+			var ie *InternalError
+			if errors.As(err, &ie) {
+				*errp = err
+				return
+			}
+		}
+		*errp = New(r)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"existdlog/internal/ast"
+	"existdlog/internal/ierr"
 )
 
 // Result is the outcome of parsing a source text: the program (rules plus
@@ -25,12 +26,19 @@ type parser struct {
 // position on malformed input. The resulting program has its Derived set
 // computed from rule heads; facts for predicates that also have rules are
 // rejected (the IDB must contain no facts).
-func Parse(src string) (*Result, error) {
+//
+// Parse never panics: malformed input yields an ordinary error, and any
+// internal bug is recovered at this boundary into a stack-carrying
+// *ierr.InternalError. The audited panic paths in this package are only
+// MustParseProgram (whose contract is to panic, for literal sources in
+// tests and examples) — every parsing and lexing error path returns.
+func Parse(src string) (res *Result, err error) {
+	defer ierr.Rescue(&err)
 	p := &parser{lex: newLexer(src)}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
-	res := &Result{Program: ast.NewProgram(ast.Atom{})}
+	res = &Result{Program: ast.NewProgram(ast.Atom{})}
 	for p.tok.kind != tokEOF {
 		if p.tok.kind == tokQuery {
 			if err := p.advance(); err != nil {

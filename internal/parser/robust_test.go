@@ -1,0 +1,78 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMalformedInputsErrorNotPanic is the parser robustness audit as a
+// table: every class of malformed input must come back as an ordinary
+// error — positioned where possible — and never as a panic. The cases
+// cover lexer edges (unterminated quotes, stray punctuation, NUL and other
+// control bytes, truncated operators), grammar edges (missing dots,
+// unbalanced parens, empty argument lists, dangling commas), and semantic
+// checks (non-ground facts, negated facts/queries, duplicate queries, IDB
+// facts, bad adornments, unsafe rules).
+func TestMalformedInputsErrorNotPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error message ("" = any error)
+	}{
+		{"lone colon", ":", "expected ':-'"},
+		{"lone question mark", "?", "expected '?-'"},
+		{"colon at eof", "p(X) :", "expected ':-'"},
+		{"unterminated quote", "p('abc", "unterminated quoted"},
+		{"unexpected character", "p(X) & q(X).", "unexpected character"},
+		{"nul byte", "p(\x00).", "unexpected character"},
+		{"control bytes", "p(\x01\x02).", "unexpected character"},
+		{"missing dot", "p(X) :- q(X)", "expected"},
+		{"unbalanced paren", "p(X.", "expected"},
+		{"empty args", "p().", "expected term"},
+		{"dangling comma in args", "p(X,).", "expected term"},
+		{"dangling comma in body", "p(X) :- q(X), .", "expected predicate name"},
+		{"rule without body", "p(X) :- .", "expected predicate name"},
+		{"upper-case predicate", "P(x).", "expected predicate name"},
+		{"fact not ground", "p(X).", "not ground"},
+		{"negated fact", "not p(a).", "negated fact"},
+		{"negated query", "?- not p(X).", "negated query"},
+		{"two queries", "?- p(X). ?- q(X).", "multiple query goals"},
+		{"fact for derived predicate", "p(X) :- q(X). p(a). q(a).", "IDB must contain no facts"},
+		{"invalid adornment", "p@xz(X) :- q(X).", "invalid adornment"},
+		{"adornment missing", "p@(X) :- q(X).", "expected adornment"},
+		{"adornment on number", "p@7(X) :- q(X).", "expected adornment"},
+		{"unsafe head variable", "p(X,Y) :- q(X).", ""},
+		{"query only token", "?-", "expected predicate name"},
+		{"dot only", ".", "expected predicate name"},
+		{"comma only", ",", "expected predicate name"},
+		{"deep nesting garbage", strings.Repeat("p(", 500) + "x" + strings.Repeat(")", 500) + ".", "expected"},
+		{"very long unterminated", "p('" + strings.Repeat("a", 1<<16), "unterminated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on %q: %v", tc.src, r)
+				}
+			}()
+			res, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded (%v), want error", tc.src, res)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error %q, want substring %q", tc.src, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParsePositionsInErrors pins that syntax errors carry line:column.
+func TestParsePositionsInErrors(t *testing.T) {
+	_, err := Parse("p(a).\nq(b) :- r(b,\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "3:1") {
+		t.Fatalf("error %q lacks 3:1 position", err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"existdlog/internal/ast"
 	"existdlog/internal/deletion"
 	"existdlog/internal/grammar"
+	"existdlog/internal/ierr"
 	"existdlog/internal/magic"
 	"existdlog/internal/uniform"
 	"existdlog/internal/xform"
@@ -111,7 +112,11 @@ type OptimizeResult struct {
 // not mutated. The result's query goal is the adorned (and, if projection
 // ran, projected) version of p's goal; Answers on an evaluation of the
 // optimized program accepts it directly.
-func Optimize(p *Program, opt Options) (*OptimizeResult, error) {
+//
+// Optimize never panics: any internal bug in the pipeline is recovered at
+// this boundary into a stack-carrying *InternalError.
+func Optimize(p *Program, opt Options) (res *OptimizeResult, err error) {
+	defer ierr.Rescue(&err)
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

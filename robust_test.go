@@ -1,0 +1,80 @@
+package existdlog
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestArityMismatchSurfacedThroughFacade pins that a predicate used with
+// two different arities comes back from the facade as a typed error —
+// errors.Is(err, ErrArityMismatch) matches, and errors.As extracts the
+// *ArityMismatchError with the offending key and both arities — rather
+// than the panic the engine used to raise.
+func TestArityMismatchSurfacedThroughFacade(t *testing.T) {
+	_, _, err := Parse("p(a). p(a,b).")
+	if err == nil {
+		t.Fatal("Parse accepted p at two arities")
+	}
+	if !errors.Is(err, ErrArityMismatch) {
+		t.Fatalf("error %v does not match ErrArityMismatch", err)
+	}
+	var am *ArityMismatchError
+	if !errors.As(err, &am) {
+		t.Fatalf("error %v is not an *ArityMismatchError", err)
+	}
+	if am.Key != "p" || am.Want == am.Have {
+		t.Fatalf("unexpected mismatch details: %+v", am)
+	}
+}
+
+// TestArityMismatchViaEval covers the other surfacing path: the program is
+// consistent, but the caller's database disagrees with a rule body's
+// arity. The evaluator must report the typed error, not panic.
+func TestArityMismatchViaEval(t *testing.T) {
+	p := MustParseProgram("q(X) :- e(X,Y). ?- q(X).")
+	db := NewDatabase()
+	db.Add("e", "a") // arity 1, the rule wants 2
+	_, err := Eval(p, db, EvalOptions{})
+	if err == nil {
+		t.Fatal("Eval accepted database with wrong arity for e")
+	}
+	if !errors.Is(err, ErrArityMismatch) {
+		t.Fatalf("error %v does not match ErrArityMismatch", err)
+	}
+}
+
+// TestFacadeCancellationReturnsPartial is the end-to-end cancellation
+// contract at the facade: a divergent query aborted by deadline comes back
+// promptly with ErrDeadline and a non-nil partial result.
+func TestFacadeCancellationReturnsPartial(t *testing.T) {
+	p := MustParseProgram("n(X) :- z(X). n(Y) :- n(X), s(X,Y). ?- n(X).")
+	db := NewDatabase()
+	db.Add("z", "0")
+	// A dense cyclic successor relation keeps the fixpoint busy long
+	// enough for a short deadline to land mid-evaluation on any machine.
+	names := make([]string, 400)
+	for i := range names {
+		names[i] = "c" + strconv.Itoa(i)
+	}
+	for i, a := range names {
+		for j := 0; j < 8; j++ {
+			db.Add("s", a, names[(i+j+1)%len(names)])
+		}
+	}
+	db.Add("s", "0", names[0])
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	res, err := EvalContext(ctx, p, db, EvalOptions{})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("want non-nil partial result, got %+v", res)
+	}
+	if res.Incomplete == "" {
+		t.Fatal("partial result lacks Incomplete reason")
+	}
+}
