@@ -6,6 +6,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"existdlog/internal/engine"
@@ -29,7 +31,35 @@ func cmdBench(args []string) error {
 	parallel := fs.Bool("parallel", false, "evaluate semi-naive variants with the parallel strategy")
 	timeout := fs.Duration("timeout", 0, "overall deadline for the suite; on expiry the partial tables are printed (0 = no limit)")
 	cancelTable := fs.Bool("cancel", false, "measure the cancellation-latency table (DESIGN.md §7) instead of the experiment suite")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the suite to this file (go tool pprof)")
+	memProfile := fs.String("memprofile", "", "write a heap profile after the suite to this file")
 	fs.Parse(args)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *cancelTable {
 		fmt.Println("== cancellation latency: time from deadline expiry to partial result ==")

@@ -3,11 +3,12 @@
 //
 //	existdlog optimize [-mode 51|53] [-magic] file.dl   step-by-step optimization report
 //	existdlog adorn file.dl                             print the adorned program
-//	existdlog run [-noopt] [-nocut] [-naive] [-parallel] [-timeout 1s] file.dl  evaluate and print answers + stats
-//	existdlog explain file.dl 'a@nd(1)'                 print a derivation tree
+//	existdlog run [-noopt] [-nocut] [-naive] [-parallel] [-explain] [-trace] [-timeout 1s] file.dl  evaluate and print answers + stats
+//	existdlog explain [-json] file.dl                   optimizer EXPLAIN: what each stage decided
+//	existdlog why file.dl 'a@nd(1)'                     print one answer's derivation tree
 //	existdlog grammar file.dl                           chain-program/grammar analysis
 //	existdlog equiv left.dl right.dl                    Section 4 equivalence report
-//	existdlog bench                                     run the experiment suite tables
+//	existdlog bench [-cpuprofile f] [-memprofile f]     run the experiment suite tables
 //
 // Program files contain rules, ground facts, and one "?- goal." query in
 // the syntax of the parser package (p@nd writes the paper's p^nd).
@@ -15,6 +16,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +25,6 @@ import (
 	"existdlog"
 	"existdlog/internal/adorn"
 	"existdlog/internal/grammar"
-	"existdlog/internal/parser"
 )
 
 func main() {
@@ -41,6 +42,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "why":
+		err = cmdWhy(os.Args[2:])
 	case "grammar":
 		err = cmdGrammar(os.Args[2:])
 	case "equiv":
@@ -69,7 +72,8 @@ commands:
   optimize   print the optimization pipeline report for a program
   adorn      print the existentially adorned program
   run        evaluate a program over its facts and print the answers
-  explain    print the derivation tree of one answer
+  explain    print the optimizer's stage-by-stage EXPLAIN report
+  why        print the derivation tree of one answer
   grammar    analyze a binary chain program as a grammar
   equiv      compare two programs under the paper's equivalences
   repl       interactive session (rules, facts, and ?- queries)
@@ -158,6 +162,8 @@ func cmdRun(args []string) error {
 	naive := fs.Bool("naive", false, "use naive instead of semi-naive evaluation")
 	parallel := fs.Bool("parallel", false, "parallel semi-naive evaluation (same answers and stats, GOMAXPROCS workers)")
 	reorder := fs.Bool("reorder", false, "greedy bound-first join reordering")
+	explain := fs.Bool("explain", false, "print the optimizer's EXPLAIN report before the answers")
+	traceFlag := fs.Bool("trace", false, "collect per-rule/per-pass metrics and print them after the stats")
 	maxAnswers := fs.Int("max", 50, "print at most this many answers (0 = all)")
 	timeout := fs.Duration("timeout", 0, "abort evaluation after this long, printing the partial result (0 = no limit)")
 	var rels relFlags
@@ -195,14 +201,19 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *explain {
+			res.Explain.Format(os.Stdout)
+		}
 		prog = res.Program
 		goal = prog.Query
 		if res.EmptyAnswer {
 			fmt.Println("answer proved empty at compile time")
 			return nil
 		}
+	} else if *explain {
+		fmt.Println("% -explain has no report under -noopt (the optimizer did not run)")
 	}
-	opts := existdlog.EvalOptions{BooleanCut: !*nocut, ReorderJoins: *reorder}
+	opts := existdlog.EvalOptions{BooleanCut: !*nocut, ReorderJoins: *reorder, Trace: *traceFlag}
 	if *naive && *parallel {
 		return fmt.Errorf("run: -naive and -parallel are mutually exclusive")
 	}
@@ -238,58 +249,80 @@ func cmdRun(args []string) error {
 	s := res.Stats
 	fmt.Printf("%% %d answers; %d facts derived in %d iterations; %d derivations (%d duplicates); %d join probes; %d rules retired\n",
 		len(answers), s.FactsDerived, s.Iterations, s.Derivations, s.DuplicateHits, s.JoinProbes, s.RulesRetired)
+	if res.Trace != nil {
+		res.Trace.Format(os.Stdout)
+	}
 	return nil
 }
 
+// cmdExplain prints the optimizer's stage-by-stage EXPLAIN report for a
+// program: adornments chosen, boolean components split off, positions
+// projected away, and which check deleted which rule. With a second
+// argument (a ground goal) it keeps its historical meaning and delegates
+// to "why", printing that answer's derivation tree.
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	mode := fs.String("mode", "53", "summary deletion mode: 51 or 53")
+	magicFlag := fs.Bool("magic", false, "finish with the magic-sets rewriting")
+	fs.Parse(args)
+	if fs.NArg() == 2 {
+		return cmdWhy(fs.Args())
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("explain: expected one program file (or a file and a ground goal, as in 'why')")
+	}
+	prog, _, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	opts := existdlog.DefaultOptions()
+	if *mode == "51" {
+		opts.DeletionMode = existdlog.Lemma51
+	}
+	opts.MagicSets = *magicFlag
+	res, err := existdlog.Optimize(prog, opts)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		b, err := res.Explain.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(b))
+		return nil
+	}
+	res.Explain.Format(os.Stdout)
+	return nil
+}
+
+// cmdWhy evaluates the program with provenance tracking and prints the
+// derivation tree of one ground answer, grounded in base facts.
+func cmdWhy(args []string) error {
+	fs := flag.NewFlagSet("why", flag.ExitOnError)
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		return fmt.Errorf("explain: expected a program file and a ground goal like 'a(1,2)'")
+		return fmt.Errorf("why: expected a program file and a ground goal like 'a(1,2)'")
 	}
 	prog, db, err := load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
-	goalRes, err := parser.Parse("?- " + fs.Arg(1) + ".")
-	if err != nil {
-		return fmt.Errorf("explain: bad goal: %w", err)
-	}
-	goal := goalRes.Program.Query
-	if !goal.IsGround() {
-		return fmt.Errorf("explain: goal must be ground")
-	}
 	res, err := existdlog.Eval(prog, db, existdlog.EvalOptions{TrackProvenance: true})
 	if err != nil {
 		return err
 	}
-	row := make([]string, len(goal.Args))
-	for i, t := range goal.Args {
-		row[i] = t.Name
-	}
-	tree, ok := res.Derivation(goal.Key(), row)
-	if !ok {
+	tree, err := existdlog.Why(res, fs.Arg(1))
+	if errors.Is(err, existdlog.ErrNotDerivable) {
 		fmt.Printf("%s is not derivable\n", fs.Arg(1))
 		return nil
 	}
-	printTree(tree, prog, res, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Print(existdlog.FormatTree(tree, prog, res))
 	return nil
-}
-
-func printTree(t *existdlog.Tree, prog *existdlog.Program, res *existdlog.EvalResult, depth int) {
-	indent := strings.Repeat("  ", depth)
-	label := t.Fact.Key
-	if len(t.Fact.Row) > 0 {
-		label = fmt.Sprintf("%s(%s)", t.Fact.Key, strings.Join(res.RowStrings(t.Fact.Row), ","))
-	}
-	if t.Rule >= 0 && t.Rule < len(prog.Rules) {
-		fmt.Printf("%s%s   [rule %d: %s]\n", indent, label, t.Rule+1, prog.Rules[t.Rule])
-	} else {
-		fmt.Printf("%s%s   [base fact]\n", indent, label)
-	}
-	for _, c := range t.Children {
-		printTree(c, prog, res, depth+1)
-	}
 }
 
 func cmdGrammar(args []string) error {

@@ -62,6 +62,12 @@ type replSession struct {
 	factCount int // parsed facts (a line may hold several)
 	lastGoal  string
 
+	// lastProg/lastResult hold the evaluated (possibly optimized) program
+	// and result of the last query, for the why command. Queries always
+	// track provenance so why can reconstruct derivation trees.
+	lastProg   *existdlog.Program
+	lastResult *existdlog.EvalResult
+
 	mu          sync.Mutex
 	cancelQuery context.CancelFunc // non-nil while a query is evaluating
 }
@@ -117,6 +123,7 @@ func (s *replSession) handle(line string) error {
   :rules            list the current rules
   :facts            list the current facts
   :optimize         show the optimized program for the last query
+  why p(1,2)        derivation tree of a fact from the last query's result
   :clear            forget everything
   :quit             leave
 `)
@@ -133,7 +140,12 @@ func (s *replSession) handle(line string) error {
 		return nil
 	case line == ":clear":
 		s.rules, s.facts, s.factCount = nil, nil, 0
+		s.lastProg, s.lastResult, s.lastGoal = nil, nil, ""
 		return nil
+	case strings.HasPrefix(line, ":why "):
+		return s.why(strings.TrimSpace(strings.TrimPrefix(line, ":why ")))
+	case strings.HasPrefix(line, "why "):
+		return s.why(strings.TrimSpace(strings.TrimPrefix(line, "why ")))
 	case strings.HasPrefix(line, ":load "):
 		return s.loadFile(strings.TrimSpace(strings.TrimPrefix(line, ":load ")))
 	case line == ":optimize":
@@ -222,7 +234,8 @@ func (s *replSession) query(goal string) error {
 		s.setCancel(nil)
 		cancel()
 	}()
-	res, err := existdlog.EvalContext(ctx, target, db, existdlog.EvalOptions{BooleanCut: true})
+	res, err := existdlog.EvalContext(ctx, target, db,
+		existdlog.EvalOptions{BooleanCut: true, TrackProvenance: true})
 	interrupted := false
 	if err != nil {
 		if !errors.Is(err, existdlog.ErrCanceled) || res == nil || !res.Partial {
@@ -230,6 +243,7 @@ func (s *replSession) query(goal string) error {
 		}
 		interrupted = true
 	}
+	s.lastProg, s.lastResult = target, res
 	answers := res.Answers(target.Query)
 	if len(answers) == 0 && !interrupted {
 		fmt.Fprintln(s.out, "no")
@@ -253,6 +267,22 @@ func (s *replSession) query(goal string) error {
 	}
 	fmt.Fprintf(s.out, "%% %d answers, %d facts derived, %d iterations\n",
 		len(answers), res.Stats.FactsDerived, res.Stats.Iterations)
+	return nil
+}
+
+// why prints the derivation tree of a ground fact from the last query's
+// result. Under optimization the evaluated program is the optimized one,
+// so derived facts are named by their adorned keys (e.g. "a@nd(1)"); the
+// tree's leaves are always base facts.
+func (s *replSession) why(fact string) error {
+	if s.lastResult == nil {
+		return fmt.Errorf("no query result yet — run a '?- goal.' query first")
+	}
+	tree, err := existdlog.Why(s.lastResult, fact)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, existdlog.FormatTree(tree, s.lastProg, s.lastResult))
 	return nil
 }
 

@@ -20,6 +20,7 @@ package adorn
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -209,4 +210,29 @@ func cloneRules(rs []ast.Rule) []ast.Rule {
 		out[i] = rs[i].Clone()
 	}
 	return out
+}
+
+// AdornedKeys lists the adorned derived predicate versions appearing in p
+// (head, body, or query), sorted — the "adornments chosen" line of the
+// optimizer's EXPLAIN report.
+func AdornedKeys(p *ast.Program) []string {
+	seen := map[string]bool{}
+	note := func(a ast.Atom) {
+		if a.Adornment != "" && p.Derived[a.Key()] {
+			seen[a.Key()] = true
+		}
+	}
+	for _, r := range p.Rules {
+		note(r.Head)
+		for _, b := range r.Body {
+			note(b)
+		}
+	}
+	note(p.Query)
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -25,6 +25,11 @@ const (
 type Deletion struct {
 	Rule   string
 	Reason string
+	// Test names the check that justified the deletion — "summary"
+	// (Lemma 5.1/5.3), "uniform-equivalence" (Sagiv), "subsumption",
+	// "literal-deletion", or "cleanup" (unproductive/unreachable rules) —
+	// so optimization EXPLAIN reports can attribute each discarded rule.
+	Test string
 }
 
 // occSummaries computes, for every body literal occurrence in the program
@@ -275,8 +280,8 @@ func Cleanup(p *ast.Program) (*ast.Program, []Deletion) {
 				}
 			}
 			if dead != "" {
-				dels = append(dels, Deletion{r.String(),
-					fmt.Sprintf("body uses %s, which is derived but unproductive (empty)", dead)})
+				dels = append(dels, Deletion{Rule: r.String(), Test: "cleanup",
+					Reason: fmt.Sprintf("body uses %s, which is derived but unproductive (empty)", dead)})
 				continue
 			}
 			kept = append(kept, r)
@@ -302,8 +307,8 @@ func Cleanup(p *ast.Program) (*ast.Program, []Deletion) {
 		kept = out.Rules[:0:0]
 		for _, r := range out.Rules {
 			if !reach[r.Head.Key()] {
-				dels = append(dels, Deletion{r.String(),
-					fmt.Sprintf("%s is unreachable from the query", r.Head.Key())})
+				dels = append(dels, Deletion{Rule: r.String(), Test: "cleanup",
+					Reason: fmt.Sprintf("%s is unreachable from the query", r.Head.Key())})
 				continue
 			}
 			kept = append(kept, r)
@@ -369,7 +374,7 @@ func DeleteRules(p *ast.Program, opt Options) (*ast.Program, []Deletion, error) 
 				if !ok {
 					continue
 				}
-				dels = append(dels, Deletion{cur.Rules[ri].String(), reason})
+				dels = append(dels, Deletion{Rule: cur.Rules[ri].String(), Test: "summary", Reason: reason})
 				cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
 				changed = true
 				sums = occSummaries(cur)
@@ -381,8 +386,8 @@ func DeleteRules(p *ast.Program, opt Options) (*ast.Program, []Deletion, error) 
 			sums = occSummaries(cur)
 			for ri := 0; ri < len(cur.Rules); ri++ {
 				if rj, ok := ClauseSubsumed(cur, ri); ok {
-					dels = append(dels, Deletion{cur.Rules[ri].String(),
-						fmt.Sprintf("clause subsumption by rule %d (%s)", rj+1, cur.Rules[rj])})
+					dels = append(dels, Deletion{Rule: cur.Rules[ri].String(), Test: "subsumption",
+						Reason: fmt.Sprintf("clause subsumption by rule %d (%s)", rj+1, cur.Rules[rj])})
 					cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
 					changed = true
 					sums = occSummaries(cur)
@@ -390,7 +395,7 @@ func DeleteRules(p *ast.Program, opt Options) (*ast.Program, []Deletion, error) 
 					continue
 				}
 				if reason, ok := QueryProjectionSubsumed(cur, ri, sums); ok {
-					dels = append(dels, Deletion{cur.Rules[ri].String(), reason})
+					dels = append(dels, Deletion{Rule: cur.Rules[ri].String(), Test: "subsumption", Reason: reason})
 					cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
 					changed = true
 					sums = occSummaries(cur)
@@ -408,8 +413,8 @@ func DeleteRules(p *ast.Program, opt Options) (*ast.Program, []Deletion, error) 
 				if !ok {
 					continue
 				}
-				dels = append(dels, Deletion{cur.Rules[ri].String(),
-					"uniform equivalence (Sagiv): the remaining rules derive this rule's head from its frozen body"})
+				dels = append(dels, Deletion{Rule: cur.Rules[ri].String(), Test: "uniform-equivalence",
+					Reason: "uniform equivalence (Sagiv): the remaining rules derive this rule's head from its frozen body"})
 				cur.Rules = append(cur.Rules[:ri:ri], cur.Rules[ri+1:]...)
 				changed = true
 				ri--
@@ -428,8 +433,8 @@ func DeleteRules(p *ast.Program, opt Options) (*ast.Program, []Deletion, error) 
 					}
 					old := cur.Rules[ri].String()
 					cur.Rules[ri].Body = append(cur.Rules[ri].Body[:li:li], cur.Rules[ri].Body[li+1:]...)
-					dels = append(dels, Deletion{old,
-						fmt.Sprintf("literal %d redundant under uniform equivalence; rule weakened to %s",
+					dels = append(dels, Deletion{Rule: old, Test: "literal-deletion",
+						Reason: fmt.Sprintf("literal %d redundant under uniform equivalence; rule weakened to %s",
 							li+1, cur.Rules[ri])})
 					changed = true
 					li--

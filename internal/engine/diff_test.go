@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"existdlog/internal/parser"
@@ -34,7 +35,9 @@ func orderedFacts(res *Result, key string) [][]string {
 //   - without the cut, every strategy derives exactly the reference
 //     fixpoint, relation by relation, with equal FactsDerived;
 //   - Parallel is bit-identical to SemiNaive under the same toggles: full
-//     Stats and per-relation insertion order, not just set equality.
+//     Stats, per-relation insertion order, and the complete per-rule /
+//     per-pass trace metrics (runs evaluate with Trace set), not just set
+//     equality.
 //
 // Run under -race in CI this also exercises the concurrent index builds
 // and symbol interning.
@@ -72,7 +75,7 @@ func TestStrategiesAgree(t *testing.T) {
 				// Parallel run against bit-for-bit.
 				var sn *Result
 				for _, strat := range []Strategy{Naive, SemiNaive, Parallel} {
-					opt := Options{Strategy: strat, BooleanCut: cut, ReorderJoins: reorder}
+					opt := Options{Strategy: strat, BooleanCut: cut, ReorderJoins: reorder, Trace: true}
 					if strat == Parallel {
 						opt.Workers = 1 + rng.Intn(8)
 					}
@@ -106,6 +109,10 @@ func TestStrategiesAgree(t *testing.T) {
 						if res.Stats != sn.Stats {
 							t.Fatalf("trial %d cut=%v reorder=%v: parallel stats diverge\nsemi-naive: %+v\nparallel:   %+v\n%s",
 								trial, cut, reorder, sn.Stats, res.Stats, src)
+						}
+						if !reflect.DeepEqual(res.Trace, sn.Trace) {
+							t.Fatalf("trial %d cut=%v reorder=%v: parallel per-rule metrics diverge\nsemi-naive: %+v\nparallel:   %+v\n%s",
+								trial, cut, reorder, sn.Trace, res.Trace, src)
 						}
 						for key := range p.Derived {
 							a, b := orderedFacts(sn, key), orderedFacts(res, key)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,7 @@ import (
 	"existdlog/internal/ast"
 	"existdlog/internal/failpoint"
 	"existdlog/internal/ierr"
+	"existdlog/internal/trace"
 )
 
 // Strategy selects the fixpoint evaluation algorithm.
@@ -68,6 +70,14 @@ type Options struct {
 	// (0 means runtime.GOMAXPROCS(0)). Other strategies ignore it, and
 	// results never depend on it.
 	Workers int
+	// Trace collects per-rule and per-pass evaluation metrics into
+	// Result.Trace: firings, emitted tuples, duplicates, join probes,
+	// delta sizes, and boolean-cut events. Mid-pass counters accumulate in
+	// lock-free per-worker shards merged only at pass barriers, so the
+	// metrics are deterministic and Parallel reproduces SemiNaive's
+	// exactly. Disabled (the default), the evaluation hot path performs no
+	// extra allocations — only nil checks.
+	Trace bool
 }
 
 // ErrFactLimit is returned when MaxFacts is exceeded.
@@ -151,7 +161,11 @@ type Result struct {
 	// "deadline exceeded", "fact limit exceeded", "iteration limit
 	// exceeded", or the abort error's message.
 	Incomplete string
-	prov       map[string]map[string]Justification
+	// Trace holds the per-rule/per-pass metrics of a run with
+	// Options.Trace set (nil otherwise). On partial runs the per-rule
+	// counters still partition Stats exactly.
+	Trace *trace.Metrics
+	prov  map[string]map[string]Justification
 }
 
 // builtinKind enumerates the arithmetic/comparison builtins available to
@@ -241,6 +255,10 @@ type evaluator struct {
 	baseFacts int
 	queryKey  string
 	maxStrat  int
+	// tc collects the per-rule/per-pass metrics of Options.Trace; nil when
+	// tracing is disabled, which reduces every instrumentation site to one
+	// nil comparison.
+	tc *trace.Collector
 }
 
 // runner is the per-goroutine evaluation state: the join recursion's
@@ -257,6 +275,10 @@ type runner struct {
 	colsBuf   [][]int
 	valsBuf   []Tuple
 	newlyBuf  [][]int
+	// shard holds this goroutine's per-rule trace counters (firings, join
+	// probes); nil when tracing is disabled. It is drained into the
+	// collector only at pass barriers, on the coordinating goroutine.
+	shard *trace.Shard
 	// budget counts down mid-pass work units to the next cancellation
 	// check (see ctxCheckInterval).
 	budget int
@@ -328,11 +350,73 @@ func incompleteReason(err error) string {
 // the prefix (graceful degradation) or discard it.
 func (ev *evaluator) finish(evalErr error) (*Result, error) {
 	res := &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}
+	if ev.tc != nil {
+		// Final drain of the sequential runner's shard (Update/Retract
+		// loops and naive tails that did not end on a traced barrier).
+		ev.tc.Merge(ev.run.shard)
+		res.Trace = ev.tc.Metrics()
+	}
 	if evalErr != nil {
 		res.Partial = true
 		res.Incomplete = incompleteReason(evalErr)
 	}
 	return res, evalErr
+}
+
+// initTrace arms metrics collection when Options.Trace is set: one
+// collector for the run plus the sequential runner's counter shard.
+// Everything tracing allocates happens here and at pass barriers; with
+// Trace off ev.tc stays nil and every instrumentation site is a single
+// nil comparison.
+func (ev *evaluator) initTrace(p *ast.Program) {
+	if !ev.opt.Trace {
+		return
+	}
+	texts := make([]string, len(p.Rules))
+	for i := range p.Rules {
+		texts[i] = p.Rules[i].String()
+	}
+	ev.tc = trace.NewCollector(texts)
+	ev.run.shard = ev.tc.NewShard()
+}
+
+// deltaSizes snapshots the current delta relation sizes, sorted by
+// predicate, for a pass record.
+func (ev *evaluator) deltaSizes() []trace.DeltaSize {
+	if len(ev.deltas) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(ev.deltas))
+	for k := range ev.deltas {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]trace.DeltaSize, len(keys))
+	for i, k := range keys {
+		out[i] = trace.DeltaSize{Predicate: k, Size: ev.deltas[k].Len()}
+	}
+	return out
+}
+
+// tracedPass is runPass plus the pass-barrier metrics work: the delta
+// snapshot is taken before the fan-out, the pass record lands after the
+// merge (aborted passes included, with whatever they added before the
+// abort), and the sequential runner's shard is drained — the
+// merge-at-barrier invariant that keeps Parallel metrics bit-identical to
+// SemiNaive's.
+func (ev *evaluator) tracedPass(vs []version, collectNext bool, stratum int) error {
+	if ev.tc == nil {
+		return ev.runPass(vs, collectNext)
+	}
+	deltas := ev.deltaSizes()
+	before := ev.stats.FactsDerived
+	err := ev.runPass(vs, collectNext)
+	ev.tc.Merge(ev.run.shard)
+	ev.tc.Pass(trace.PassStats{
+		Pass: ev.stats.Iterations, Stratum: stratum, Versions: len(vs),
+		Facts: ev.stats.FactsDerived - before, Deltas: deltas,
+	})
+	return err
 }
 
 // Eval evaluates program p bottom-up over the extensional database edb and
@@ -381,6 +465,7 @@ func EvalContext(ctx context.Context, p *ast.Program, edb *Database, opt Options
 	if opt.TrackProvenance {
 		ev.prov = make(map[string]map[string]Justification)
 	}
+	ev.initTrace(p)
 	if err := ev.compile(p); err != nil {
 		return nil, err
 	}
@@ -666,6 +751,9 @@ func (ev *evaluator) joinOrder(plan *rulePlan, deltaOcc int) []int {
 // JoinProbes.
 func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactRef) error) error {
 	ev := r.ev
+	if r.shard != nil {
+		r.shard.Firings[plan.idx]++
+	}
 	if cap(r.slotVals) < plan.slots {
 		r.slotVals = make([]int32, plan.slots)
 		r.slotBound = make([]bool, plan.slots)
@@ -737,6 +825,9 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			// relation. Safety has bound every named variable; remaining
 			// unbound positions are anonymous wildcards.
 			r.stats.JoinProbes++
+			if r.shard != nil {
+				r.shard.Probes[plan.idx]++
+			}
 			if err := r.tick(); err != nil {
 				return err
 			}
@@ -749,6 +840,9 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			return nil
 		}
 		r.stats.JoinProbes++
+		if r.shard != nil {
+			r.shard.Probes[plan.idx]++
+		}
 		if err := r.tick(); err != nil {
 			return err
 		}
@@ -901,6 +995,12 @@ func (r *runner) runVersion(plan *rulePlan, occ int) (buf []emission, err error)
 // delta for semi-naive), maintaining counters, limits, and provenance.
 func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, collectNext bool) error {
 	ev.stats.Derivations++
+	// The per-rule counter moves in lockstep with the aggregate, BEFORE
+	// the abort points below, so partial runs keep the partition invariant
+	// (sum of per-rule Emitted == Stats.Derivations).
+	if ev.tc != nil {
+		ev.tc.Emit(plan.idx)
+	}
 	// Merge-side cancellation point (the merge of a huge pass can itself
 	// take a while) and fault-injection site. Aborting mid-merge is sound:
 	// the facts already inserted are valid consequences, and Stats count
@@ -921,9 +1021,15 @@ func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, c
 	}
 	if !rel.Insert(head) {
 		ev.stats.DuplicateHits++
+		if ev.tc != nil {
+			ev.tc.Duplicate(plan.idx)
+		}
 		return nil
 	}
 	ev.stats.FactsDerived++
+	if ev.tc != nil {
+		ev.tc.Fact(plan.idx)
+	}
 	if collectNext {
 		nx, ok := ev.next[plan.headKey]
 		if !ok {
@@ -1008,6 +1114,15 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 		// it never flips, so the fan-out behaves exactly as before.
 		var failed atomic.Bool
 		local := make([]Stats, workers)
+		// Per-worker trace shards, merged below at the barrier alongside
+		// the aggregate counters — lock-free while the pass runs.
+		var shards []*trace.Shard
+		if ev.tc != nil {
+			shards = make([]*trace.Shard, workers)
+			for w := range shards {
+				shards[w] = ev.tc.NewShard()
+			}
+		}
 		spawnErr := error(nil)
 		spawned := 0
 		for w := 0; w < workers; w++ {
@@ -1019,6 +1134,9 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 			go func(w int) {
 				defer wg.Done()
 				r := runner{ev: ev, stats: &local[w]}
+				if shards != nil {
+					r.shard = shards[w]
+				}
 				for {
 					if failed.Load() || ev.checkCtx() != nil {
 						return
@@ -1039,9 +1157,15 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 		}
 		wg.Wait()
 		// Probe counts are additive, so the sum over workers equals the
-		// sequential total regardless of how versions were distributed.
+		// sequential total regardless of how versions were distributed —
+		// and the same holds per rule, so the trace shards merge here too
+		// (on aborted passes as well, keeping partial-run metrics in step
+		// with partial-run Stats).
 		for w := 0; w < spawned; w++ {
 			ev.stats.JoinProbes += local[w].JoinProbes
+			if shards != nil {
+				ev.tc.Merge(shards[w])
+			}
 		}
 		if spawnErr != nil {
 			return spawnErr
@@ -1095,16 +1219,31 @@ func (ev *evaluator) runNaiveStratum(level int) error {
 			return ErrIterationLimit
 		}
 		before := ev.stats.FactsDerived
+		versions := 0
+		var evalErr error
 		for pi, plan := range ev.plans {
 			if !ev.active[pi] || plan.stratum != level {
 				continue
 			}
-			err := ev.run.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
+			versions++
+			evalErr = ev.run.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
 				return ev.insertDerived(plan, t, just, false)
 			})
-			if err != nil {
-				return err
+			if evalErr != nil {
+				break
 			}
+		}
+		// Naive iterations are their own barriers: drain the shard and
+		// record the pass (aborted iterations included) before the cut.
+		if ev.tc != nil {
+			ev.tc.Merge(ev.run.shard)
+			ev.tc.Pass(trace.PassStats{
+				Pass: ev.stats.Iterations, Stratum: level, Versions: versions,
+				Facts: ev.stats.FactsDerived - before,
+			})
+		}
+		if evalErr != nil {
+			return evalErr
 		}
 		ev.applyCut()
 		if ev.stats.FactsDerived == before {
@@ -1156,7 +1295,7 @@ func (ev *evaluator) runSemiNaiveStratum(level int) error {
 		}
 		startup = append(startup, version{pi: pi, occ: -1})
 	}
-	if err := ev.runPass(startup, false); err != nil {
+	if err := ev.tracedPass(startup, false, level); err != nil {
 		return err
 	}
 	ev.deltas = make(map[string]*Relation)
@@ -1186,7 +1325,7 @@ func (ev *evaluator) runSemiNaiveStratum(level int) error {
 				vs = append(vs, version{pi: pi, occ: occ})
 			}
 		}
-		if err := ev.runPass(vs, true); err != nil {
+		if err := ev.tracedPass(vs, true, level); err != nil {
 			return err
 		}
 		ev.deltas = ev.next
@@ -1208,6 +1347,9 @@ func (ev *evaluator) applyCut() {
 		if ev.active[pi] && plan.boolHead && ev.out.Count(plan.headKey) > 0 {
 			ev.active[pi] = false
 			ev.stats.RulesRetired++
+			if ev.tc != nil {
+				ev.tc.Cut(pi, ev.stats.Iterations)
+			}
 			changed = true
 		}
 	}
@@ -1239,6 +1381,9 @@ func (ev *evaluator) applyCut() {
 			if ev.active[pi] && !needed[plan.headKey] {
 				ev.active[pi] = false
 				ev.stats.RulesRetired++
+				if ev.tc != nil {
+					ev.tc.Cut(pi, ev.stats.Iterations)
+				}
 				retired = true
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"existdlog/internal/ast"
 	"existdlog/internal/ierr"
+	"existdlog/internal/trace"
 )
 
 // Retract removes base facts from a previous evaluation result and brings
@@ -74,6 +75,7 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 			ev.prov[k] = cp
 		}
 	}
+	ev.initTrace(p)
 	if err := ev.compile(p); err != nil {
 		return nil, err
 	}
@@ -138,6 +140,10 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 			return ev.finish(ErrIterationLimit)
 		}
 		ev.next = make(map[string]*Relation)
+		deltas := ev.deltaSizes()
+		versions := 0
+		var passErr error
+	overdelete:
 		for pi, plan := range ev.plans {
 			if !ev.active[pi] || plan.nDeltas == 0 {
 				continue
@@ -146,8 +152,15 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 				if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
 					continue
 				}
-				err := ev.run.evalRule(plan, occ, func(t Tuple, _ []FactRef) error {
+				versions++
+				passErr = ev.run.evalRule(plan, occ, func(t Tuple, _ []FactRef) error {
 					ev.stats.Derivations++
+					// Over-deletion derivations are attributed to their rule
+					// too, so the per-rule partition of Stats.Derivations
+					// survives retraction.
+					if ev.tc != nil {
+						ev.tc.Emit(plan.idx)
+					}
 					if rel, ok := ev.out.Lookup(plan.headKey); ok && rel.Contains(t) && markDead(plan.headKey, t) {
 						nx, ok := ev.next[plan.headKey]
 						if !ok {
@@ -158,10 +171,20 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 					}
 					return nil
 				})
-				if err != nil {
-					return ev.finish(err)
+				if passErr != nil {
+					break overdelete
 				}
 			}
+		}
+		if ev.tc != nil {
+			ev.tc.Merge(ev.run.shard)
+			ev.tc.Pass(trace.PassStats{
+				Pass: ev.stats.Iterations, Stratum: 0, Versions: versions,
+				Deltas: deltas,
+			})
+		}
+		if passErr != nil {
+			return ev.finish(passErr)
 		}
 		ev.deltas = ev.next
 	}
@@ -225,21 +248,8 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 			return ev.finish(ErrIterationLimit)
 		}
 		ev.next = make(map[string]*Relation)
-		for pi, plan := range ev.plans {
-			if !ev.active[pi] || plan.nDeltas == 0 {
-				continue
-			}
-			for occ := 0; occ < plan.nDeltas; occ++ {
-				if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
-					continue
-				}
-				err := ev.run.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
-					return ev.insertDerived(plan, t, just, true)
-				})
-				if err != nil {
-					return ev.finish(err)
-				}
-			}
+		if err := ev.updatePass(); err != nil {
+			return ev.finish(err)
 		}
 		ev.deltas = ev.next
 	}

@@ -6,6 +6,7 @@ import (
 
 	"existdlog/internal/ast"
 	"existdlog/internal/ierr"
+	"existdlog/internal/trace"
 )
 
 // Update extends a previous evaluation result with newly added base facts
@@ -72,6 +73,7 @@ func UpdateContext(ctx context.Context, p *ast.Program, prev *Result, added *Dat
 			ev.prov[k] = cp
 		}
 	}
+	ev.initTrace(p)
 	if err := ev.compile(p); err != nil {
 		return nil, err
 	}
@@ -109,24 +111,47 @@ func UpdateContext(ctx context.Context, p *ast.Program, prev *Result, added *Dat
 			return ev.finish(ErrIterationLimit)
 		}
 		ev.next = make(map[string]*Relation)
-		for pi, plan := range ev.plans {
-			if !ev.active[pi] || plan.nDeltas == 0 {
-				continue
-			}
-			for occ := 0; occ < plan.nDeltas; occ++ {
-				if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
-					continue
-				}
-				err := ev.run.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
-					return ev.insertDerived(plan, t, just, true)
-				})
-				if err != nil {
-					return ev.finish(err)
-				}
-			}
+		if err := ev.updatePass(); err != nil {
+			return ev.finish(err)
 		}
 		ev.deltas = ev.next
 		ev.applyCut()
 	}
 	return ev.finish(nil)
+}
+
+// updatePass runs one incremental delta pass sequentially, recording a
+// pass metrics entry when tracing (aborted passes included — the partial
+// metrics must keep partitioning the partial Stats).
+func (ev *evaluator) updatePass() error {
+	deltas := ev.deltaSizes()
+	before := ev.stats.FactsDerived
+	versions := 0
+	var evalErr error
+outer:
+	for pi, plan := range ev.plans {
+		if !ev.active[pi] || plan.nDeltas == 0 {
+			continue
+		}
+		for occ := 0; occ < plan.nDeltas; occ++ {
+			if _, ok := ev.deltas[deltaKey(plan, occ)]; !ok {
+				continue
+			}
+			versions++
+			evalErr = ev.run.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
+				return ev.insertDerived(plan, t, just, true)
+			})
+			if evalErr != nil {
+				break outer
+			}
+		}
+	}
+	if ev.tc != nil {
+		ev.tc.Merge(ev.run.shard)
+		ev.tc.Pass(trace.PassStats{
+			Pass: ev.stats.Iterations, Stratum: 0, Versions: versions,
+			Facts: ev.stats.FactsDerived - before, Deltas: deltas,
+		})
+	}
+	return evalErr
 }

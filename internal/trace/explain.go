@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Projection describes one predicate's arity reduction under projection
+// pushing (Lemma 3.2): the existential positions deleted and the arities
+// before and after.
+type Projection struct {
+	// Predicate is the adorned key, e.g. "a@nd".
+	Predicate string `json:"predicate"`
+	// Before and After are the arities around the rewrite.
+	Before int `json:"before"`
+	After  int `json:"after"`
+	// Dropped lists the deleted argument positions, 1-based.
+	Dropped []int `json:"dropped"`
+}
+
+// Deletion records one rule discarded by the deletion driver, the check
+// that justified it, and the human-readable reason.
+type Deletion struct {
+	Rule string `json:"rule"`
+	// Test names the justifying check: "summary" (Lemma 5.1/5.3),
+	// "uniform-equivalence" (Sagiv), "subsumption", "literal-deletion", or
+	// "cleanup" (unproductive/unreachable predicates).
+	Test   string `json:"test"`
+	Reason string `json:"reason"`
+}
+
+// Stage is one phase of the optimization pipeline as the EXPLAIN report
+// records it. Detail fields are populated per stage kind; the rest stay
+// empty.
+type Stage struct {
+	// Name is the phase name ("adorn", "split-components", ...).
+	Name string `json:"name"`
+	// RulesBefore and RulesAfter count the program's rules around the
+	// stage.
+	RulesBefore int `json:"rulesBefore"`
+	RulesAfter  int `json:"rulesAfter"`
+	// Notes are free-form phase remarks (mirrors OptimizeResult.Steps).
+	Notes []string `json:"notes,omitempty"`
+	// Adornments lists the adorned predicate versions chosen (adorn).
+	Adornments []string `json:"adornments,omitempty"`
+	// Booleans lists the boolean predicates split off (split-components).
+	Booleans []string `json:"booleans,omitempty"`
+	// Projections lists the arity reductions (push-projections).
+	Projections []Projection `json:"projections,omitempty"`
+	// Deletions lists the rules discarded (delete-rules).
+	Deletions []Deletion `json:"deletions,omitempty"`
+	// Program is the program text after the stage.
+	Program string `json:"program"`
+}
+
+// Explain is the stage-by-stage optimization report of Optimize.
+type Explain struct {
+	// Input is the program text the pipeline started from.
+	Input string `json:"input"`
+	// Stages are the enabled phases, in pipeline order.
+	Stages []Stage `json:"stages"`
+	// EmptyAnswer is set when the optimizer proved the answer empty at
+	// compile time.
+	EmptyAnswer bool `json:"emptyAnswer,omitempty"`
+}
+
+// JSON renders the report as deterministic machine-readable JSON.
+func (e *Explain) JSON() ([]byte, error) { return json.MarshalIndent(e, "", "  ") }
+
+// Format renders the report for the CLI: per stage, the detail lines and
+// the rule-count movement; program texts are elided except the final one.
+func (e *Explain) Format(w io.Writer) {
+	fmt.Fprintf(w, "== explain: optimization pipeline ==\n")
+	for i := range e.Stages {
+		s := &e.Stages[i]
+		fmt.Fprintf(w, "stage %d: %s (%d rules -> %d rules)\n",
+			i+1, s.Name, s.RulesBefore, s.RulesAfter)
+		for _, n := range s.Notes {
+			fmt.Fprintf(w, "  %s\n", n)
+		}
+		if len(s.Adornments) > 0 {
+			fmt.Fprintf(w, "  adornments chosen: %s\n", strings.Join(s.Adornments, ", "))
+		}
+		for _, b := range s.Booleans {
+			fmt.Fprintf(w, "  boolean component split off: %s\n", b)
+		}
+		for _, p := range s.Projections {
+			pos := make([]string, len(p.Dropped))
+			for j, d := range p.Dropped {
+				pos[j] = fmt.Sprint(d)
+			}
+			fmt.Fprintf(w, "  projection: %s arity %d -> %d (dropped position %s)\n",
+				p.Predicate, p.Before, p.After, strings.Join(pos, ","))
+		}
+		for _, d := range s.Deletions {
+			fmt.Fprintf(w, "  deleted [%s]: %s\n      %s\n", d.Test, d.Rule, d.Reason)
+		}
+	}
+	if e.EmptyAnswer {
+		fmt.Fprintf(w, "answer proved empty at compile time\n")
+	}
+	if n := len(e.Stages); n > 0 {
+		fmt.Fprintf(w, "== optimized program ==\n")
+		fmt.Fprint(w, e.Stages[n-1].Program)
+	}
+}

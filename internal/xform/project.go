@@ -2,6 +2,7 @@ package xform
 
 import (
 	"fmt"
+	"sort"
 
 	"existdlog/internal/ast"
 )
@@ -115,8 +116,17 @@ func AddCoveringUnitRules(p *ast.Program) (*ast.Program, []int) {
 	}
 	collect(p.Query)
 
+	// Iterate bases in sorted order so the added rules come out in a
+	// deterministic order (the optimizer's EXPLAIN report is byte-stable).
+	bases := make([]string, 0, len(byBase))
+	for base := range byBase {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+
 	var added []int
-	for base, versions := range byBase {
+	for _, base := range bases {
+		versions := byBase[base]
 		for _, lo := range versions {
 			for _, hi := range versions {
 				if lo.ad == hi.ad || !hi.ad.Covers(lo.ad) {

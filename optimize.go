@@ -2,6 +2,7 @@ package existdlog
 
 import (
 	"fmt"
+	"sort"
 
 	"existdlog/internal/adorn"
 	"existdlog/internal/ast"
@@ -9,6 +10,7 @@ import (
 	"existdlog/internal/grammar"
 	"existdlog/internal/ierr"
 	"existdlog/internal/magic"
+	"existdlog/internal/trace"
 	"existdlog/internal/uniform"
 	"existdlog/internal/xform"
 )
@@ -101,6 +103,12 @@ type OptimizeResult struct {
 	Program *Program
 	// Steps records each enabled phase's output.
 	Steps []Step
+	// Explain is the machine-readable stage-by-stage report: per stage, the
+	// rule-count movement plus what the stage decided — adornments chosen,
+	// boolean components split off, positions projected away, and which
+	// check deleted which rule. Render it with Explain.Format or
+	// Explain.JSON.
+	Explain *trace.Explain
 	// Deletions lists discarded rules with their justifications.
 	Deletions []deletion.Deletion
 	// EmptyAnswer is set when the optimizer proved the answer empty at
@@ -120,10 +128,20 @@ func Optimize(p *Program, opt Options) (res *OptimizeResult, err error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	out := &OptimizeResult{}
+	out := &OptimizeResult{Explain: &trace.Explain{Input: p.String()}}
 	cur := p.Clone()
+	lastCount := len(cur.Rules)
 	record := func(name string, notes ...string) {
-		out.Steps = append(out.Steps, Step{Name: name, Program: cur.String(), Notes: notes})
+		text := cur.String()
+		out.Steps = append(out.Steps, Step{Name: name, Program: text, Notes: notes})
+		out.Explain.Stages = append(out.Explain.Stages, trace.Stage{
+			Name: name, RulesBefore: lastCount, RulesAfter: len(cur.Rules),
+			Notes: notes, Program: text,
+		})
+		lastCount = len(cur.Rules)
+	}
+	last := func() *trace.Stage {
+		return &out.Explain.Stages[len(out.Explain.Stages)-1]
 	}
 
 	if opt.Adorn {
@@ -133,6 +151,7 @@ func Optimize(p *Program, opt Options) (res *OptimizeResult, err error) {
 		}
 		cur = a
 		record("adorn")
+		last().Adornments = adorn.AdornedKeys(cur)
 	}
 	if opt.ReduceInvariants {
 		for {
@@ -151,20 +170,24 @@ func Optimize(p *Program, opt Options) (res *OptimizeResult, err error) {
 		}
 	}
 	if opt.SplitComponents {
+		before := derivedKeySet(cur)
 		s, err := xform.SplitComponents(cur)
 		if err != nil {
 			return nil, err
 		}
 		cur = s
 		record("split-components")
+		last().Booleans = newDerivedKeys(cur, before)
 	}
 	if opt.PushProjections {
+		plan := projectionPlan(cur)
 		pp, err := xform.PushProjections(cur)
 		if err != nil {
 			return nil, err
 		}
 		cur = pp
 		record("push-projections")
+		last().Projections = plan
 	}
 	if opt.AddUnitRules {
 		ext, added := xform.AddCoveringUnitRules(cur)
@@ -192,6 +215,10 @@ func Optimize(p *Program, opt Options) (res *OptimizeResult, err error) {
 		cur = trimmed
 		out.Deletions = dels
 		record("delete-rules", fmt.Sprintf("%d rules discarded", len(dels)))
+		for _, d := range dels {
+			last().Deletions = append(last().Deletions,
+				trace.Deletion{Rule: d.Rule, Test: d.Test, Reason: d.Reason})
+		}
 	}
 	if opt.MagicSets || opt.SupplementaryMagic {
 		rewrite := magic.Rewrite
@@ -210,8 +237,69 @@ func Optimize(p *Program, opt Options) (res *OptimizeResult, err error) {
 	if len(cur.RulesFor(cur.Query.Key())) == 0 && cur.IsDerived(cur.Query.Key()) {
 		out.EmptyAnswer = true
 	}
+	out.Explain.EmptyAnswer = out.EmptyAnswer
 	out.Program = cur
 	return out, nil
+}
+
+// derivedKeySet snapshots p's derived predicate keys.
+func derivedKeySet(p *ast.Program) map[string]bool {
+	keys := make(map[string]bool, len(p.Derived))
+	for k := range p.Derived {
+		keys[k] = true
+	}
+	return keys
+}
+
+// newDerivedKeys lists p's derived keys absent from before, sorted — the
+// boolean predicates the component split introduced.
+func newDerivedKeys(p *ast.Program, before map[string]bool) []string {
+	var fresh []string
+	for k := range p.Derived {
+		if !before[k] {
+			fresh = append(fresh, k)
+		}
+	}
+	sort.Strings(fresh)
+	return fresh
+}
+
+// projectionPlan reads off what PushProjections will do to p: one entry
+// per adorned derived predicate that still carries its full argument list
+// and has existential ('d') positions to drop. Sorted by predicate key.
+func projectionPlan(p *ast.Program) []trace.Projection {
+	seen := map[string]bool{}
+	var plan []trace.Projection
+	note := func(a ast.Atom) {
+		if a.Adornment == "" || !p.Derived[a.Key()] || len(a.Args) != len(a.Adornment) || seen[a.Key()] {
+			return
+		}
+		seen[a.Key()] = true
+		var dropped []int
+		for i := range a.Adornment {
+			if a.Adornment[i] == 'd' {
+				dropped = append(dropped, i+1)
+			}
+		}
+		if len(dropped) == 0 {
+			return
+		}
+		plan = append(plan, trace.Projection{
+			Predicate: a.Key(),
+			Before:    len(a.Adornment),
+			After:     len(a.Adornment) - len(dropped),
+			Dropped:   dropped,
+		})
+	}
+	for _, r := range p.Rules {
+		note(r.Head)
+		for _, b := range r.Body {
+			note(b)
+		}
+	}
+	note(p.Query)
+	sort.Slice(plan, func(i, j int) bool { return plan[i].Predicate < plan[j].Predicate })
+	return plan
 }
 
 // CountingRewrite exposes the counting method for the canonical linear
