@@ -28,6 +28,8 @@ func errReason(err error) string {
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	only := fs.String("only", "", "run a single experiment id (e.g. E3)")
+	repeat := fs.Int("repeat", 1, "evaluate each cell this many times and report p50/p95/p99 latency quantiles")
+	jsonOut := fs.String("json", "", "record the measured rows as a JSON array to this file (e.g. BENCH_E1.json)")
 	parallel := fs.Bool("parallel", false, "evaluate semi-naive variants with the parallel strategy")
 	timeout := fs.Duration("timeout", 0, "overall deadline for the suite; on expiry the partial tables are printed (0 = no limit)")
 	cancelTable := fs.Bool("cancel", false, "measure the cancellation-latency table (DESIGN.md §7) instead of the experiment suite")
@@ -83,6 +85,18 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
+	var allRows []harness.Row
+	recordJSON := func() error {
+		if *jsonOut == "" {
+			return nil
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return harness.WriteJSON(f, allRows)
+	}
 	for _, e := range exps {
 		if *only != "" && e.ID != *only {
 			continue
@@ -98,15 +112,16 @@ func cmdBench(args []string) error {
 		}
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		fmt.Printf("claim: %s\n", e.Claim)
-		rows, err := e.RunContext(ctx)
+		rows, err := e.RunRepeatContext(ctx, *repeat)
 		aborted := err != nil && (errors.Is(err, engine.ErrCanceled) || errors.Is(err, engine.ErrDeadline))
 		if err != nil && !aborted {
 			return err
 		}
+		allRows = append(allRows, rows...)
 		harness.WriteTable(os.Stdout, rows)
 		if aborted {
 			fmt.Printf("%%%% bench aborted mid-suite: %s\n", errReason(err))
-			return nil
+			return recordJSON()
 		}
 		if len(e.Variants) >= 2 {
 			fmt.Println("speedups (first variant vs last):")
@@ -122,5 +137,5 @@ func cmdBench(args []string) error {
 		}
 		fmt.Print(experiments.FormatCapabilityMatrix(mat))
 	}
-	return nil
+	return recordJSON()
 }

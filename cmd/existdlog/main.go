@@ -8,7 +8,8 @@
 //	existdlog why file.dl 'a@nd(1)'                     print one answer's derivation tree
 //	existdlog grammar file.dl                           chain-program/grammar analysis
 //	existdlog equiv left.dl right.dl                    Section 4 equivalence report
-//	existdlog bench [-cpuprofile f] [-memprofile f]     run the experiment suite tables
+//	existdlog bench [-repeat n] [-json f] [-cpuprofile f] [-memprofile f]  run the experiment suite tables
+//	existdlog serve [-addr host:port] [-timeout 10s] file.dl  HTTP query service with metrics and health probes
 //
 // Program files contain rules, ground facts, and one "?- goal." query in
 // the syntax of the parser package (p@nd writes the paper's p^nd).
@@ -52,6 +53,8 @@ func main() {
 		err = cmdRepl(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -78,6 +81,7 @@ commands:
   equiv      compare two programs under the paper's equivalences
   repl       interactive session (rules, facts, and ?- queries)
   bench      run the experiment suite and print its tables
+  serve      HTTP query service: /query, /metrics, /healthz, /debug/pprof
 `)
 }
 

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"existdlog/internal/harness"
+)
+
+// TestReplStats drives a session through queries (including a failing
+// one) and checks the :stats command reports the cumulative registry.
+func TestReplStats(t *testing.T) {
+	var out strings.Builder
+	sess := &replSession{out: &out, optimize: true}
+	script := []string{
+		"a(X,Y) :- p(X,Z), a(Z,Y).",
+		"a(X,Y) :- p(X,Y).",
+		"p(1,2). p(2,3).",
+		"?- a(1,X).",
+		"?- a(X,Y).",
+	}
+	for _, line := range script {
+		if err := sess.handle(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	// A malformed query counts toward the error outcome.
+	if err := sess.handle("?- a(X,"); err == nil {
+		t.Fatal("malformed query did not error")
+	}
+	out.Reset()
+	if err := sess.handle(":stats"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"queries: 3 (ok 2, partial 0, error 1)",
+		"latency: p50",
+		"rule firings:",
+		"a@nn(X,Y) :- p(X,Y).", // per-rule series carry the evaluated rule text
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf(":stats output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "facts derived: ") {
+		t.Errorf(":stats output missing the facts counter:\n%s", got)
+	}
+	out.Reset()
+	if err := sess.handle(":stats"); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != got {
+		t.Errorf(":stats is not idempotent:\n%s\nvs\n%s", got, out.String())
+	}
+}
+
+// TestCmdBenchRepeatJSON runs one experiment with repetition and checks
+// the table gains quantile columns and the recorded JSON parses back
+// into rows with quantiles.
+func TestCmdBenchRepeatJSON(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_E1.json")
+	out := capture(t, func() error {
+		return cmdBench([]string{"-only", "E1", "-repeat", "3", "-json", jsonPath})
+	})
+	for _, want := range []string{"p50", "p95", "p99"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench table missing %q column:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []harness.Row
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("recorded JSON does not parse: %v", err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows recorded")
+	}
+	for _, r := range rows {
+		if r.Repeats != 3 {
+			t.Errorf("row %s/%s/%s: repeats = %d, want 3", r.Experiment, r.Workload, r.Variant, r.Repeats)
+		}
+		if r.P50 <= 0 || r.P99 < r.P50 {
+			t.Errorf("row %s/%s/%s: bad quantiles p50=%v p99=%v", r.Experiment, r.Workload, r.Variant, r.P50, r.P99)
+		}
+	}
+}

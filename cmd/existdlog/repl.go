@@ -11,8 +11,10 @@ import (
 	"os/signal"
 	"strings"
 	"sync"
+	"time"
 
 	"existdlog"
+	"existdlog/internal/obs"
 	"existdlog/internal/parser"
 )
 
@@ -68,8 +70,23 @@ type replSession struct {
 	lastProg   *existdlog.Program
 	lastResult *existdlog.EvalResult
 
+	// reg accumulates session metrics across queries — the same
+	// registry type that backs `existdlog serve`'s /metrics — printed
+	// by the :stats command. Lazily created so zero-value sessions
+	// (tests construct them directly) work.
+	reg *obs.Registry
+
 	mu          sync.Mutex
 	cancelQuery context.CancelFunc // non-nil while a query is evaluating
+}
+
+// registry returns the session's metrics registry, creating it on first
+// use.
+func (s *replSession) registry() *obs.Registry {
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	return s.reg
 }
 
 // Interrupt cancels the in-flight query, if any, and reports whether
@@ -123,6 +140,7 @@ func (s *replSession) handle(line string) error {
   :rules            list the current rules
   :facts            list the current facts
   :optimize         show the optimized program for the last query
+  :stats            cumulative session metrics (queries, facts, firings, latency)
   why p(1,2)        derivation tree of a fact from the last query's result
   :clear            forget everything
   :quit             leave
@@ -150,6 +168,8 @@ func (s *replSession) handle(line string) error {
 		return s.loadFile(strings.TrimSpace(strings.TrimPrefix(line, ":load ")))
 	case line == ":optimize":
 		return s.showOptimized()
+	case line == ":stats":
+		return s.showStats()
 	case strings.HasPrefix(line, ":"):
 		return fmt.Errorf("unknown command %q (:help)", line)
 	case strings.HasPrefix(line, "?-"):
@@ -211,18 +231,22 @@ func (s *replSession) query(goal string) error {
 	if !strings.HasSuffix(goal, ".") {
 		goal += "."
 	}
+	start := time.Now()
 	s.lastGoal = goal
 	prog, db, err := s.program(goal)
 	if err != nil {
+		s.registry().ObserveError(time.Since(start))
 		return err
 	}
 	target := prog
 	if s.optimize {
 		res, err := existdlog.Optimize(prog, existdlog.DefaultOptions())
 		if err != nil {
+			s.registry().ObserveError(time.Since(start))
 			return err
 		}
 		if res.EmptyAnswer {
+			s.registry().ObserveQuery(existdlog.Stats{}, nil, time.Since(start), obs.OutcomeOK)
 			fmt.Fprintln(s.out, "no (proved empty at compile time)")
 			return nil
 		}
@@ -235,14 +259,20 @@ func (s *replSession) query(goal string) error {
 		cancel()
 	}()
 	res, err := existdlog.EvalContext(ctx, target, db,
-		existdlog.EvalOptions{BooleanCut: true, TrackProvenance: true})
+		existdlog.EvalOptions{BooleanCut: true, TrackProvenance: true, Trace: true})
 	interrupted := false
 	if err != nil {
 		if !errors.Is(err, existdlog.ErrCanceled) || res == nil || !res.Partial {
+			s.registry().ObserveError(time.Since(start))
 			return err
 		}
 		interrupted = true
 	}
+	outcome := obs.OutcomeOK
+	if res.Partial {
+		outcome = obs.OutcomePartial
+	}
+	s.registry().ObserveQuery(res.Stats, res.Trace, time.Since(start), outcome)
 	s.lastProg, s.lastResult = target, res
 	answers := res.Answers(target.Query)
 	if len(answers) == 0 && !interrupted {
@@ -283,6 +313,34 @@ func (s *replSession) why(fact string) error {
 		return err
 	}
 	fmt.Fprint(s.out, existdlog.FormatTree(tree, s.lastProg, s.lastResult))
+	return nil
+}
+
+// showStats prints the session's cumulative metrics. Every query since
+// startup drains into the same obs registry type that backs `existdlog
+// serve`'s /metrics; the registry is session-lifetime, so :clear does
+// not reset it.
+func (s *replSession) showStats() error {
+	snap := s.registry().Snapshot()
+	fmt.Fprintf(s.out, "queries: %d (ok %d, partial %d, error %d)\n",
+		snap.TotalQueries(), snap.Queries[obs.OutcomeOK],
+		snap.Queries[obs.OutcomePartial], snap.Queries[obs.OutcomeError])
+	fmt.Fprintf(s.out, "facts derived: %d; rule firings: %d; derivations: %d (%d duplicates); join probes: %d; passes: %d; rules retired: %d\n",
+		snap.FactsDerived, snap.RuleFirings, snap.Derivations,
+		snap.DuplicateHits, snap.JoinProbes, snap.Iterations, snap.RulesRetired)
+	if n := snap.Latency.Count; n > 0 {
+		fmt.Fprintf(s.out, "latency: p50 %s, p95 %s, p99 %s over %d queries\n",
+			quantileDuration(snap.Latency, 0.50),
+			quantileDuration(snap.Latency, 0.95),
+			quantileDuration(snap.Latency, 0.99), n)
+	}
+	if len(snap.Rules) > 0 {
+		fmt.Fprintf(s.out, "%-8s %8s %8s %8s  %s\n", "firings", "emitted", "facts", "dup", "rule")
+		for _, r := range snap.Rules {
+			fmt.Fprintf(s.out, "%-8d %8d %8d %8d  %s\n",
+				r.Firings, r.Emitted, r.Facts, r.Duplicates, r.Text)
+		}
+	}
 	return nil
 }
 

@@ -1,42 +1,16 @@
 package engine
 
 import (
-	"bytes"
-	"runtime"
-	"runtime/pprof"
 	"testing"
-	"time"
+
+	"existdlog/internal/leakcheck"
 )
 
-// checkNoLeakedGoroutines fails the test if the goroutine count has not
-// returned to (at most) the baseline captured when the helper was called.
-// Use as
+// checkNoLeakedGoroutines adapts the shared leak detector to this
+// package's historical helper name. Use as
 //
 //	defer checkNoLeakedGoroutines(t)()
-//
-// around code that spawns workers: the returned func polls with a grace
-// period — workers are expected to drain promptly but asynchronously after
-// a cancellation or injected fault — and on timeout dumps all goroutine
-// stacks so the leaked worker is identifiable.
 func checkNoLeakedGoroutines(t *testing.T) func() {
 	t.Helper()
-	base := runtime.NumGoroutine()
-	return func() {
-		t.Helper()
-		deadline := time.Now().Add(2 * time.Second)
-		var n int
-		for {
-			n = runtime.NumGoroutine()
-			if n <= base {
-				return
-			}
-			if time.Now().After(deadline) {
-				break
-			}
-			time.Sleep(5 * time.Millisecond)
-		}
-		var buf bytes.Buffer
-		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
-		t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s", n, base, buf.String())
-	}
+	return leakcheck.Check(t)
 }

@@ -63,12 +63,19 @@ func (e *Experiment) Run() ([]harness.Row, error) {
 // partial-marked row for the evaluation that was cut — alongside the
 // context error, so a deadline-bounded bench renders what it completed.
 func (e *Experiment) RunContext(ctx context.Context) ([]harness.Row, error) {
+	return e.RunRepeatContext(ctx, 1)
+}
+
+// RunRepeatContext is RunContext with each (variant, workload) cell
+// evaluated repeat times: the row carries the mean elapsed time plus
+// p50/p95/p99 latency quantiles (see harness.RunRepeatContext).
+func (e *Experiment) RunRepeatContext(ctx context.Context, repeat int) ([]harness.Row, error) {
 	var rows []harness.Row
 	for _, wl := range e.Workloads {
 		db := wl.Build()
 		var answers = -1
 		for _, v := range e.Variants {
-			row, err := harness.RunContext(ctx, e.ID, wl.Name, v.Name, v.Program, db, v.Opts)
+			row, err := harness.RunRepeatContext(ctx, e.ID, wl.Name, v.Name, v.Program, db, v.Opts, repeat)
 			if err != nil {
 				if errors.Is(err, engine.ErrCanceled) || errors.Is(err, engine.ErrDeadline) {
 					if row.Variant != "" {

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -14,22 +15,30 @@ import (
 
 	"existdlog/internal/ast"
 	"existdlog/internal/engine"
+	"existdlog/internal/obs"
 )
 
 // Row is one measurement: a program variant evaluated over one workload
-// instance.
+// instance. The JSON names are the schema of the recorded BENCH_*.json
+// files. Under repetition (RunRepeatContext) Elapsed is the mean and
+// P50/P95/P99 are latency quantiles estimated from an obs.Histogram of
+// the individual runs; single runs leave the quantiles zero.
 type Row struct {
-	Experiment string
-	Workload   string
-	Variant    string
-	Rules      int
-	Answers    int
-	Facts      int   // distinct derived facts
-	Derivs     int64 // derivations incl. duplicates
-	Dups       int64 // duplicate-elimination hits
-	Iters      int
-	Retired    int // rules retired by the boolean cut
-	Elapsed    time.Duration
+	Experiment string        `json:"experiment"`
+	Workload   string        `json:"workload"`
+	Variant    string        `json:"variant"`
+	Rules      int           `json:"rules"`
+	Answers    int           `json:"answers"`
+	Facts      int           `json:"facts"`  // distinct derived facts
+	Derivs     int64         `json:"derivs"` // derivations incl. duplicates
+	Dups       int64         `json:"dups"`   // duplicate-elimination hits
+	Iters      int           `json:"iters"`
+	Retired    int           `json:"retired"` // rules retired by the boolean cut
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Repeats    int           `json:"repeats,omitempty"`
+	P50        time.Duration `json:"p50_ns,omitempty"`
+	P95        time.Duration `json:"p95_ns,omitempty"`
+	P99        time.Duration `json:"p99_ns,omitempty"`
 }
 
 // Run evaluates p over db and returns the filled row.
@@ -55,6 +64,61 @@ func RunContext(ctx context.Context, experiment, workload, variant string, p *as
 	return fill(experiment, workload, variant, p, res, elapsed), nil
 }
 
+// RunRepeatContext evaluates the same (variant, workload) repeat times
+// and reports latency quantiles: each run's wall time feeds an
+// obs.Histogram, Elapsed becomes the mean, and P50/P95/P99 are the
+// interpolated quantile estimates (exactly what a Prometheus
+// histogram_quantile over the serve-mode latency histogram would
+// report). Counters are taken from the last run — evaluation is
+// deterministic, so every run derives the same facts. repeat < 1 is
+// treated as 1; an aborted run returns like RunContext, with whatever
+// quantiles the completed repetitions established.
+func RunRepeatContext(ctx context.Context, experiment, workload, variant string, p *ast.Program, db *engine.Database, opts engine.Options, repeat int) (Row, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	if repeat == 1 {
+		return RunContext(ctx, experiment, workload, variant, p, db, opts)
+	}
+	hist := obs.NewHistogram(obs.LatencyBuckets()...)
+	var total time.Duration
+	var row Row
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		res, err := engine.EvalContext(ctx, p, db, opts)
+		elapsed := time.Since(start)
+		if err != nil {
+			if res == nil || !res.Partial {
+				return Row{}, fmt.Errorf("%s/%s/%s: %w", experiment, workload, variant, err)
+			}
+			row = fill(experiment, workload, variant+" (partial)", p, res, elapsed)
+			quantiles(&row, hist, i)
+			return row, fmt.Errorf("%s/%s/%s: %w", experiment, workload, variant, err)
+		}
+		hist.Observe(elapsed.Seconds())
+		total += elapsed
+		row = fill(experiment, workload, variant, p, res, elapsed)
+	}
+	row.Elapsed = total / time.Duration(repeat)
+	quantiles(&row, hist, repeat)
+	return row, nil
+}
+
+func quantiles(row *Row, hist *obs.Histogram, completed int) {
+	if completed < 1 {
+		return
+	}
+	snap := hist.Snapshot()
+	row.Repeats = completed
+	row.P50 = quantileDuration(snap, 0.50)
+	row.P95 = quantileDuration(snap, 0.95)
+	row.P99 = quantileDuration(snap, 0.99)
+}
+
+func quantileDuration(s obs.HistogramSnapshot, q float64) time.Duration {
+	return time.Duration(s.Quantile(q) * float64(time.Second))
+}
+
 func fill(experiment, workload, variant string, p *ast.Program, res *engine.Result, elapsed time.Duration) Row {
 	return Row{
 		Experiment: experiment,
@@ -71,18 +135,53 @@ func fill(experiment, workload, variant string, p *ast.Program, res *engine.Resu
 	}
 }
 
-// WriteTable renders rows as an aligned text table.
+// WriteTable renders rows as an aligned text table. The quantile
+// columns only appear when at least one row carries quantiles (i.e. the
+// suite ran with repetition).
 func WriteTable(w io.Writer, rows []Row) {
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "%-6s %-14s %-22s %5s %8s %9s %10s %9s %5s %5s %12s\n",
-		"exp", "workload", "variant", "rules", "answers", "facts", "derivs", "dups", "iters", "cut", "elapsed")
+	withQuantiles := false
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-6s %-14s %-22s %5d %8d %9d %10d %9d %5d %5d %12s\n",
+		if r.Repeats > 1 {
+			withQuantiles = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-6s %-14s %-22s %5s %8s %9s %10s %9s %5s %5s %12s",
+		"exp", "workload", "variant", "rules", "answers", "facts", "derivs", "dups", "iters", "cut", "elapsed")
+	if withQuantiles {
+		fmt.Fprintf(w, " %10s %10s %10s", "p50", "p95", "p99")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6s %-14s %-22s %5d %8d %9d %10d %9d %5d %5d %12s",
 			r.Experiment, r.Workload, r.Variant, r.Rules, r.Answers, r.Facts,
 			r.Derivs, r.Dups, r.Iters, r.Retired, r.Elapsed.Round(time.Microsecond))
+		if withQuantiles {
+			fmt.Fprintf(w, " %10s %10s %10s",
+				quantileCell(r, r.P50), quantileCell(r, r.P95), quantileCell(r, r.P99))
+		}
+		fmt.Fprintln(w)
 	}
+}
+
+// quantileCell renders one quantile column: single-run rows have no
+// distribution to estimate from, so they print "-".
+func quantileCell(r Row, d time.Duration) string {
+	if r.Repeats <= 1 {
+		return "-"
+	}
+	return d.Round(time.Microsecond).String()
+}
+
+// WriteJSON records rows as an indented JSON array — the BENCH_*.json
+// format.
+func WriteJSON(w io.Writer, rows []Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
 }
 
 // Table renders rows as a string.

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -81,5 +83,84 @@ func TestSpeedupZeroDenominator(t *testing.T) {
 func TestTableEmpty(t *testing.T) {
 	if Table(nil) != "" {
 		t.Error("empty rows should render nothing")
+	}
+}
+
+func TestRunRepeatQuantiles(t *testing.T) {
+	p := parser.MustParseProgram(`
+a(X,Y) :- e(X,Z), a(Z,Y).
+a(X,Y) :- e(X,Y).
+?- a(X,Y).
+`)
+	db := engine.NewDatabase()
+	workload.Chain(db, "e", 16)
+	row, err := RunRepeatContext(context.Background(), "EX", "chain-16", "v", p, db, engine.Options{}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Repeats != 7 {
+		t.Errorf("repeats = %d, want 7", row.Repeats)
+	}
+	if row.Answers != 136 || row.Facts != 136 {
+		t.Errorf("counters: %+v", row)
+	}
+	if row.P50 <= 0 || row.P95 < row.P50 || row.P99 < row.P95 {
+		t.Errorf("quantiles not ordered: p50=%v p95=%v p99=%v", row.P50, row.P95, row.P99)
+	}
+	if row.Elapsed <= 0 {
+		t.Error("mean elapsed not recorded")
+	}
+
+	// The table gains quantile columns only when repetition happened,
+	// and single-run rows in the same table print "-".
+	table := Table([]Row{row, {Experiment: "EX", Workload: "w", Variant: "single", Elapsed: time.Millisecond}})
+	if !strings.Contains(table, "p50") || !strings.Contains(table, "p99") {
+		t.Errorf("table missing quantile columns:\n%s", table)
+	}
+	if !strings.Contains(table, "-") {
+		t.Errorf("single-run row should print '-' quantiles:\n%s", table)
+	}
+	if plain := Table([]Row{{Experiment: "EX", Workload: "w", Variant: "v"}}); strings.Contains(plain, "p50") {
+		t.Errorf("quantile columns leaked into a single-run table:\n%s", plain)
+	}
+}
+
+func TestRunRepeatOnceDelegates(t *testing.T) {
+	p := parser.MustParseProgram(`
+a(X,Y) :- e(X,Y).
+?- a(X,Y).
+`)
+	db := engine.NewDatabase()
+	workload.Chain(db, "e", 4)
+	row, err := RunRepeatContext(context.Background(), "EX", "w", "v", p, db, engine.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Repeats != 0 || row.P50 != 0 {
+		t.Errorf("single run should carry no quantiles: %+v", row)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	rows := []Row{{
+		Experiment: "E1", Workload: "w", Variant: "v",
+		Facts: 3, Elapsed: time.Millisecond,
+		Repeats: 5, P50: time.Millisecond, P95: 2 * time.Millisecond, P99: 2 * time.Millisecond,
+	}}
+	var buf strings.Builder
+	if err := WriteJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var back []Row
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("recorded JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(back) != 1 || back[0] != rows[0] {
+		t.Errorf("round trip: %+v != %+v", back, rows)
+	}
+	for _, field := range []string{`"experiment"`, `"p50_ns"`, `"elapsed_ns"`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("JSON missing %s:\n%s", field, buf.String())
+		}
 	}
 }

@@ -1,0 +1,45 @@
+// Package leakcheck is the goroutine leak detector shared by the engine
+// and server test suites. It began life inside the engine's tests; the
+// serve mode's shutdown tests need the same check (a drained server must
+// leave no worker or handler goroutines behind), so it lives here.
+package leakcheck
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"testing"
+	"time"
+)
+
+// Check fails the test if the goroutine count has not returned to (at
+// most) the baseline captured when the helper was called. Use as
+//
+//	defer leakcheck.Check(t)()
+//
+// around code that spawns workers: the returned func polls with a grace
+// period — workers are expected to drain promptly but asynchronously
+// after a cancellation or injected fault — and on timeout dumps all
+// goroutine stacks so the leaked goroutine is identifiable.
+func Check(t *testing.T) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		var buf bytes.Buffer
+		_ = pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s", n, base, buf.String())
+	}
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A strict reader for the Prometheus text exposition format, used by
+// the metrics tests (the acceptance check "the scrape parses") and the
+// CI smoke step. It validates what a real Prometheus scraper would
+// reject: malformed names and labels, samples without a TYPE, histogram
+// buckets that are not cumulative, and `_count` disagreeing with the
+// +Inf bucket.
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one metric family: its TYPE plus samples in file order.
+type Family struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []Sample
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// baseFamily strips the histogram sample suffixes so `x_bucket`,
+// `x_sum`, and `x_count` attach to family x when x is a histogram.
+func baseFamily(name string, families map[string]*Family) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if f, ok := families[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	rest := s
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		name := rest[:eq]
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		// Scan the quoted value honoring escapes.
+		var val strings.Builder
+		i := 1
+		closed := false
+		for i < len(rest) {
+			c := rest[i]
+			if c == '\\' {
+				if i+1 >= len(rest) {
+					return nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch rest[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in %q", rest[i+1], s)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		labels[name] = val.String()
+		rest = rest[i:]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+		} else if rest != "" {
+			return nil, fmt.Errorf("junk %q after label value", rest)
+		}
+	}
+	return labels, nil
+}
+
+// ParseExposition parses and validates text exposition, returning the
+// metric families keyed by name. Any deviation from the format is an
+// error, as are histogram families whose buckets are not cumulative or
+// whose +Inf bucket disagrees with _count.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, name)
+			}
+			f := families[name]
+			if f == nil {
+				f = &Family{Name: name}
+				families[name] = f
+			}
+			f.Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad metric name %q in TYPE", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			f := families[name]
+			if f == nil {
+				f = &Family{Name: name}
+				families[name] = f
+			}
+			if len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			f.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		// Sample line: name[{labels}] value [timestamp]
+		name := line
+		labelPart := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("line %d: unbalanced braces in %q", lineNo, line)
+			}
+			name = line[:i]
+			labelPart = line[i+1 : j]
+			line = name + line[j+1:]
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("line %d: malformed sample %q", lineNo, sc.Text())
+		}
+		name = fields[0]
+		if !metricNameRe.MatchString(name) {
+			return nil, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		value, err := parseValue(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", lineNo, fields[1], err)
+		}
+		labels, err := parseLabels(labelPart)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		famName := baseFamily(name, families)
+		f := families[famName]
+		if f == nil || f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s without a preceding TYPE", lineNo, name)
+		}
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range families {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validateHistogram(f *Family) error {
+	var bounds []float64
+	var cums []float64
+	var count float64
+	haveCount, haveSum, haveInf := false, false, false
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			b, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			if le == "+Inf" {
+				haveInf = true
+			}
+			bounds = append(bounds, b)
+			cums = append(cums, s.Value)
+		case f.Name + "_sum":
+			haveSum = true
+		case f.Name + "_count":
+			haveCount = true
+			count = s.Value
+		}
+	}
+	if !haveInf || !haveSum || !haveCount {
+		return fmt.Errorf("%s: histogram missing +Inf bucket, _sum, or _count", f.Name)
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		return fmt.Errorf("%s: bucket bounds out of order", f.Name)
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			return fmt.Errorf("%s: buckets not cumulative (%v then %v)", f.Name, cums[i-1], cums[i])
+		}
+	}
+	if len(cums) > 0 && cums[len(cums)-1] != count {
+		return fmt.Errorf("%s: +Inf bucket %v != count %v", f.Name, cums[len(cums)-1], count)
+	}
+	return nil
+}

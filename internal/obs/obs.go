@@ -1,0 +1,271 @@
+// Package obs is the process-lifetime observability registry behind
+// `existdlog serve` and the repl's `stats` command: it aggregates the
+// per-query engine Stats and trace.Metrics that each evaluation already
+// produces into counters, gauges, and histograms, and renders them as
+// Prometheus text exposition (prom.go).
+//
+// The registry mirrors the shard design of internal/trace one level up:
+// inside one evaluation, per-worker shards drain into a trace.Collector
+// at pass barriers; across evaluations, each finished query's collector
+// output drains into this registry. All registry state is atomics — an
+// ObserveQuery on one goroutine never blocks a scrape on another, and a
+// scrape takes a point-in-time snapshot rather than locking writers
+// out. Counters therefore exactly partition the sum of the observed
+// per-query Stats: every Observe adds precisely the query's own
+// counters, and nothing else writes them.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"existdlog/internal/engine"
+	"existdlog/internal/trace"
+)
+
+// Outcome classifies a finished query for the queries_total counter.
+type Outcome string
+
+const (
+	// OutcomeOK is a query that ran to fixpoint.
+	OutcomeOK Outcome = "ok"
+	// OutcomePartial is a query that stopped early (deadline, cancel,
+	// limit) but returned a sound partial result.
+	OutcomePartial Outcome = "partial"
+	// OutcomeError is a query that produced no result at all: parse
+	// error, arity mismatch, internal error.
+	OutcomeError Outcome = "error"
+)
+
+// outcomes lists every Outcome, sorted, so the exposition is stable
+// from the first scrape on (all series pre-declared at zero).
+var outcomes = []Outcome{OutcomeError, OutcomeOK, OutcomePartial}
+
+// RuleCounters accumulate one rule's lifetime counters, keyed by the
+// rule's source text (identical rules across optimized programs share a
+// series, which is the useful aggregation for a fixed served program).
+type RuleCounters struct {
+	Firings    atomic.Int64
+	Emitted    atomic.Int64
+	Facts      atomic.Int64
+	Duplicates atomic.Int64
+	Probes     atomic.Int64
+	Cuts       atomic.Int64
+}
+
+// Registry is a process-lifetime metrics registry. All methods are safe
+// for concurrent use; the write paths are lock-free (the rule map uses
+// sync.Map, whose read path after first insertion is atomic).
+type Registry struct {
+	queries [3]atomic.Int64 // indexed parallel to outcomes
+
+	inFlight   atomic.Int64
+	queueDepth atomic.Int64
+
+	factsDerived  atomic.Int64
+	derivations   atomic.Int64
+	duplicateHits atomic.Int64
+	joinProbes    atomic.Int64
+	iterations    atomic.Int64
+	rulesRetired  atomic.Int64
+	ruleFirings   atomic.Int64
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// Latency observes per-query wall time in seconds; Facts observes
+	// per-query distinct derived facts; Deltas observes every per-pass
+	// per-predicate delta size a traced query reported.
+	Latency *Histogram
+	Facts   *Histogram
+	Deltas  *Histogram
+
+	rules sync.Map // rule text -> *RuleCounters
+
+	start time.Time
+}
+
+// NewRegistry returns an empty registry with the default buckets.
+func NewRegistry() *Registry {
+	return &Registry{
+		Latency: NewHistogram(LatencyBuckets()...),
+		Facts:   NewHistogram(SizeBuckets()...),
+		Deltas:  NewHistogram(SizeBuckets()...),
+		start:   time.Now(),
+	}
+}
+
+func outcomeIndex(o Outcome) int {
+	for i, x := range outcomes {
+		if x == o {
+			return i
+		}
+	}
+	return 0 // unknown outcomes count as errors
+}
+
+// QueryStarted marks a query entering evaluation (the in-flight gauge).
+// The returned func marks it done; call it exactly once.
+func (r *Registry) QueryStarted() func() {
+	r.inFlight.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { r.inFlight.Add(-1) }) }
+}
+
+// QueueEnter / QueueLeave bracket a request waiting for an evaluation
+// slot (the queue-depth gauge).
+func (r *Registry) QueueEnter() { r.queueDepth.Add(1) }
+func (r *Registry) QueueLeave() { r.queueDepth.Add(-1) }
+
+// CacheHit / CacheMiss count optimized-program cache lookups.
+func (r *Registry) CacheHit()  { r.cacheHits.Add(1) }
+func (r *Registry) CacheMiss() { r.cacheMisses.Add(1) }
+
+// ObserveError records a query that produced no Result (parse error,
+// arity mismatch, internal error) — only the outcome counter and the
+// latency histogram move.
+func (r *Registry) ObserveError(elapsed time.Duration) {
+	r.queries[outcomeIndex(OutcomeError)].Add(1)
+	r.Latency.Observe(elapsed.Seconds())
+}
+
+// ObserveQuery drains one finished evaluation into the registry: the
+// aggregate Stats land in the lifetime counters and histograms, and the
+// per-rule trace metrics (when the query ran with Options.Trace) land
+// in the per-rule series. Partial results observe exactly their partial
+// Stats, so the partition invariant holds on aborted queries too.
+func (r *Registry) ObserveQuery(stats engine.Stats, tr *trace.Metrics, elapsed time.Duration, outcome Outcome) {
+	r.queries[outcomeIndex(outcome)].Add(1)
+	r.Latency.Observe(elapsed.Seconds())
+	r.Facts.Observe(float64(stats.FactsDerived))
+
+	r.factsDerived.Add(int64(stats.FactsDerived))
+	r.derivations.Add(stats.Derivations)
+	r.duplicateHits.Add(stats.DuplicateHits)
+	r.joinProbes.Add(stats.JoinProbes)
+	r.iterations.Add(int64(stats.Iterations))
+	r.rulesRetired.Add(int64(stats.RulesRetired))
+
+	if tr == nil {
+		return
+	}
+	r.ruleFirings.Add(tr.TotalFirings())
+	for i := range tr.Rules {
+		rs := &tr.Rules[i]
+		rc := r.rule(rs.Text)
+		rc.Firings.Add(rs.Firings)
+		rc.Emitted.Add(rs.Emitted)
+		rc.Facts.Add(rs.Facts)
+		rc.Duplicates.Add(rs.Duplicates)
+		rc.Probes.Add(rs.JoinProbes)
+		if rs.CutPass > 0 {
+			rc.Cuts.Add(1)
+		}
+	}
+	for i := range tr.Passes {
+		for _, d := range tr.Passes[i].Deltas {
+			r.Deltas.Observe(float64(d.Size))
+		}
+	}
+}
+
+// rule returns the counters for a rule text, creating them on first use.
+func (r *Registry) rule(text string) *RuleCounters {
+	if c, ok := r.rules.Load(text); ok {
+		return c.(*RuleCounters)
+	}
+	c, _ := r.rules.LoadOrStore(text, &RuleCounters{})
+	return c.(*RuleCounters)
+}
+
+// RuleSnapshot is one rule's lifetime counters at snapshot time.
+type RuleSnapshot struct {
+	Text       string
+	Firings    int64
+	Emitted    int64
+	Facts      int64
+	Duplicates int64
+	Probes     int64
+	Cuts       int64
+}
+
+// Snapshot is a point-in-time copy of every scalar in the registry, for
+// rendering, logging a final flush, and the repl's stats command.
+type Snapshot struct {
+	Queries map[Outcome]int64
+
+	InFlight   int64
+	QueueDepth int64
+
+	FactsDerived  int64
+	Derivations   int64
+	DuplicateHits int64
+	JoinProbes    int64
+	Iterations    int64
+	RulesRetired  int64
+	RuleFirings   int64
+
+	CacheHits   int64
+	CacheMisses int64
+
+	Latency HistogramSnapshot
+	Facts   HistogramSnapshot
+	Deltas  HistogramSnapshot
+
+	Rules []RuleSnapshot // sorted by rule text
+
+	Start time.Time
+}
+
+// TotalQueries sums the outcome counters.
+func (s *Snapshot) TotalQueries() int64 {
+	var n int64
+	for _, v := range s.Queries {
+		n += v
+	}
+	return n
+}
+
+// Snapshot copies the registry. Scrapes render from the snapshot, so a
+// slow writer (there are none — writes are a handful of atomic adds)
+// can never hold up the scrape and vice versa.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Queries:       make(map[Outcome]int64, len(outcomes)),
+		InFlight:      r.inFlight.Load(),
+		QueueDepth:    r.queueDepth.Load(),
+		FactsDerived:  r.factsDerived.Load(),
+		Derivations:   r.derivations.Load(),
+		DuplicateHits: r.duplicateHits.Load(),
+		JoinProbes:    r.joinProbes.Load(),
+		Iterations:    r.iterations.Load(),
+		RulesRetired:  r.rulesRetired.Load(),
+		RuleFirings:   r.ruleFirings.Load(),
+		CacheHits:     r.cacheHits.Load(),
+		CacheMisses:   r.cacheMisses.Load(),
+		Latency:       r.Latency.Snapshot(),
+		Facts:         r.Facts.Snapshot(),
+		Deltas:        r.Deltas.Snapshot(),
+		Start:         r.start,
+	}
+	for i, o := range outcomes {
+		s.Queries[o] = r.queries[i].Load()
+	}
+	r.rules.Range(func(k, v any) bool {
+		c := v.(*RuleCounters)
+		s.Rules = append(s.Rules, RuleSnapshot{
+			Text:       k.(string),
+			Firings:    c.Firings.Load(),
+			Emitted:    c.Emitted.Load(),
+			Facts:      c.Facts.Load(),
+			Duplicates: c.Duplicates.Load(),
+			Probes:     c.Probes.Load(),
+			Cuts:       c.Cuts.Load(),
+		})
+		return true
+	})
+	sort.Slice(s.Rules, func(i, j int) bool { return s.Rules[i].Text < s.Rules[j].Text })
+	return s
+}

@@ -1,0 +1,552 @@
+// Package server implements the long-running query service behind
+// `existdlog serve`: a fixed program is loaded once, and HTTP clients
+// evaluate goals against it.
+//
+//	POST /query        evaluate a goal (JSON in, JSON out)
+//	GET  /metrics      Prometheus text exposition of the obs registry
+//	GET  /healthz      liveness: 200 while the process runs
+//	GET  /readyz       readiness: 503 once draining begins
+//	GET  /debug/pprof  the stdlib profiler endpoints
+//
+// Every query evaluates with Options.Trace set and drains its Result
+// into an obs.Registry, so the process-lifetime counters exactly
+// partition the per-query Stats. Concurrent queries are safe without
+// locking in the engine: evaluation clones the shared EDB, the symbol
+// table is internally synchronized, and optimized programs are cached
+// immutably per goal. Cancellation arrives through the same context
+// plumbing the CLI uses — a per-request timeout, a client disconnect, or
+// a server-wide drain abort all land at the engine's pass barriers and
+// come back as a sound partial result.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"existdlog"
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+	"existdlog/internal/ierr"
+	"existdlog/internal/obs"
+	"existdlog/internal/parser"
+	"existdlog/internal/trace"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Source is the served program: rules, facts, and optionally a
+	// default "?- goal." used by requests that omit their own.
+	Source string
+	// Name labels the program in logs (typically the file path).
+	Name string
+	// NoOptimize serves the program as written instead of optimizing
+	// each goal's program through the paper's pipeline.
+	NoOptimize bool
+	// Parallel evaluates with the parallel semi-naive strategy.
+	Parallel bool
+	// DefaultTimeout bounds queries that do not request a timeout
+	// (0 = unbounded).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (0 = no cap).
+	MaxTimeout time.Duration
+	// MaxConcurrent bounds concurrently evaluating queries; excess
+	// requests wait in a queue (observable as the queue-depth gauge).
+	// 0 means 4.
+	MaxConcurrent int
+	// MaxFacts bounds derived facts per query (0 = unlimited); blown
+	// queries return a sound partial result instead of eating the heap.
+	MaxFacts int
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+	// Registry receives the query metrics; nil creates a fresh one.
+	Registry *obs.Registry
+	// Now is the clock used for request timing; nil means time.Now. The
+	// golden metrics test injects a stepping fake so latency histograms
+	// are byte-deterministic.
+	Now func() time.Time
+}
+
+// compiled is one goal's ready-to-evaluate program, cached immutably.
+type compiled struct {
+	prog  *ast.Program
+	goal  ast.Atom
+	empty bool // the optimizer proved the answer empty at compile time
+}
+
+// Server is an HTTP query service over one loaded program.
+type Server struct {
+	cfg  Config
+	log  *slog.Logger
+	reg  *obs.Registry
+	now  func() time.Time
+	base *ast.Program
+	db   *engine.Database
+
+	slots chan struct{}
+	cache sync.Map // goal key -> *compiled
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	abortCtx context.Context
+	abort    context.CancelCauseFunc
+
+	reqSeq atomic.Int64
+	mux    *http.ServeMux
+}
+
+// New parses cfg.Source and returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	prog, db, err := existdlog.Parse(cfg.Source)
+	if err != nil {
+		return nil, fmt.Errorf("server: parsing %s: %w", cfg.Name, err)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	abortCtx, abort := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		log:      logger,
+		reg:      reg,
+		now:      now,
+		base:     prog,
+		db:       db,
+		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		abortCtx: abortCtx,
+		abort:    abort,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metrics registry (for the final snapshot log).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Info returns the served program's shape for startup logs: rule count,
+// base fact count, and the program's default goal ("" if none).
+func (s *Server) Info() (rules, facts int, defaultGoal string) {
+	for _, key := range s.db.Keys() {
+		facts += s.db.Count(key)
+	}
+	goal := ""
+	if s.base.Query.Pred != "" {
+		goal = s.base.Query.String()
+	}
+	return len(s.base.Rules), facts, goal
+}
+
+// enter registers an in-flight query unless the server is draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// BeginDrain flips readiness: /readyz starts answering 503 and new
+// queries are refused, while in-flight queries keep running.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// AbortInFlight cancels every in-flight evaluation with cause; each
+// returns promptly with a sound partial result.
+func (s *Server) AbortInFlight(cause error) { s.abort(cause) }
+
+// Drain gracefully shuts the query side down: it stops admitting
+// queries, waits for the in-flight ones, and — if ctx expires first —
+// aborts them (they still complete, as partials) and waits again.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.AbortInFlight(fmt.Errorf("server draining: %w", context.Cause(ctx)))
+		<-done
+		return context.Cause(ctx)
+	}
+}
+
+// parseGoal parses a request goal like "a(X,Y)" into an atom.
+func parseGoal(goal string) (ast.Atom, error) {
+	goal = strings.TrimSpace(goal)
+	goal = strings.TrimSuffix(goal, ".")
+	goal = strings.TrimPrefix(goal, "?-")
+	if goal == "" {
+		return ast.Atom{}, errors.New("empty goal")
+	}
+	res, err := parser.Parse("?- " + goal + ".")
+	if err != nil {
+		return ast.Atom{}, fmt.Errorf("parsing goal %q: %w", goal, err)
+	}
+	if len(res.Program.Rules) > 0 || len(res.Facts) > 0 {
+		return ast.Atom{}, fmt.Errorf("goal %q is not a single atom", goal)
+	}
+	return res.Program.Query, nil
+}
+
+// goalKey canonicalizes a goal for the compiled-program cache:
+// predicate, arity, constants, anonymous positions, and the variable
+// repetition pattern (variables renamed by first occurrence). Two goals
+// with the same key optimize to the same program and select the same
+// answers, so a cached entry is interchangeable between them.
+func goalKey(g ast.Atom) string {
+	var sb strings.Builder
+	sb.WriteString(g.Key())
+	first := make(map[string]int)
+	for _, t := range g.Args {
+		sb.WriteByte(',')
+		switch {
+		case t.Kind == ast.Constant:
+			sb.WriteString("c:")
+			sb.WriteString(t.Name)
+		case t.IsAnon():
+			sb.WriteByte('_')
+		default:
+			i, ok := first[t.Name]
+			if !ok {
+				i = len(first)
+				first[t.Name] = i
+			}
+			fmt.Fprintf(&sb, "v%d", i)
+		}
+	}
+	return sb.String()
+}
+
+// compile returns the (possibly optimized) program for one goal,
+// cached by the goal's canonical shape.
+func (s *Server) compile(goal ast.Atom) (*compiled, bool, error) {
+	key := goalKey(goal)
+	if c, ok := s.cache.Load(key); ok {
+		s.reg.CacheHit()
+		return c.(*compiled), true, nil
+	}
+	s.reg.CacheMiss()
+	prog := s.base.Clone()
+	prog.Query = goal
+	c := &compiled{prog: prog, goal: goal}
+	// Goals over base relations (and programs served with -noopt)
+	// evaluate as written; the optimizer's pipeline assumes the query
+	// predicate is derived.
+	if !s.cfg.NoOptimize && prog.Derived[goal.Key()] {
+		res, err := existdlog.Optimize(prog, existdlog.DefaultOptions())
+		if err != nil {
+			return nil, false, err
+		}
+		c = &compiled{prog: res.Program, goal: res.Program.Query, empty: res.EmptyAnswer}
+	}
+	actual, _ := s.cache.LoadOrStore(key, c)
+	return actual.(*compiled), false, nil
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Goal is the atom to evaluate, e.g. "a(X,Y)" or "a(1,Y)". Empty
+	// uses the served program's own "?- goal." if it has one.
+	Goal string `json:"goal"`
+	// TimeoutMS bounds this query's evaluation in milliseconds
+	// (capped by the server's MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms"`
+	// Trace includes the per-rule metrics of this evaluation in the
+	// response.
+	Trace bool `json:"trace"`
+}
+
+// statsJSON mirrors engine.Stats with stable JSON names.
+type statsJSON struct {
+	Iterations    int   `json:"iterations"`
+	FactsDerived  int   `json:"facts_derived"`
+	Derivations   int64 `json:"derivations"`
+	DuplicateHits int64 `json:"duplicate_hits"`
+	JoinProbes    int64 `json:"join_probes"`
+	RulesRetired  int   `json:"rules_retired"`
+}
+
+// queryResponse is the POST /query success body. Partial results (a
+// timeout, a cancellation, a fact limit) are still 200s: the answers
+// are sound, Partial is set, and Incomplete names what stopped the
+// evaluation.
+type queryResponse struct {
+	Request        string            `json:"request"`
+	Goal           string            `json:"goal"`
+	Answers        [][]string        `json:"answers"`
+	Count          int               `json:"count"`
+	Partial        bool              `json:"partial,omitempty"`
+	Incomplete     string            `json:"incomplete,omitempty"`
+	ProvedEmpty    bool              `json:"proved_empty,omitempty"`
+	Cached         bool              `json:"cached"`
+	Stats          statsJSON         `json:"stats"`
+	ElapsedSeconds float64           `json:"elapsed_seconds"`
+	Rules          []trace.RuleStats `json:"rules,omitempty"`
+}
+
+type errorResponse struct {
+	Request string `json:"request"`
+	Error   string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// errStatus classifies a request-processing error: client mistakes
+// (malformed goals, arity mismatches, programs the pipeline rejects)
+// are 400s; recovered library panics are 500s.
+func errStatus(err error) int {
+	var internal *ierr.InternalError
+	if errors.As(err, &internal) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	if !s.enter() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	defer s.inflight.Done()
+
+	id := fmt.Sprintf("q%d", s.reqSeq.Add(1))
+	start := s.now()
+	fail := func(status int, err error) {
+		elapsed := s.now().Sub(start)
+		s.reg.ObserveError(elapsed)
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "query failed",
+			slog.String("request", id),
+			slog.Int("status", status),
+			slog.String("error", err.Error()),
+			slog.Duration("elapsed", elapsed))
+		writeJSON(w, status, errorResponse{Request: id, Error: err.Error()})
+	}
+
+	var req queryRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+	}
+
+	var goal ast.Atom
+	if req.Goal == "" {
+		if s.base.Query.Pred == "" {
+			fail(http.StatusBadRequest, errors.New("no goal in request and the served program has no ?- query"))
+			return
+		}
+		goal = s.base.Query
+	} else {
+		goal, err = parseGoal(req.Goal)
+		if err != nil {
+			fail(http.StatusBadRequest, err)
+			return
+		}
+	}
+
+	c, cached, err := s.compile(goal)
+	if err != nil {
+		fail(errStatus(err), err)
+		return
+	}
+	if c.empty {
+		elapsed := s.now().Sub(start)
+		s.reg.ObserveQuery(engine.Stats{}, nil, elapsed, obs.OutcomeOK)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "query",
+			slog.String("request", id),
+			slog.String("goal", goal.String()),
+			slog.Bool("proved_empty", true),
+			slog.Duration("elapsed", elapsed))
+		writeJSON(w, http.StatusOK, queryResponse{
+			Request: id, Goal: c.goal.String(), Answers: [][]string{},
+			ProvedEmpty: true, Cached: cached, ElapsedSeconds: elapsed.Seconds(),
+		})
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+
+	// The evaluation context merges three cancellation sources: the
+	// client hanging up (r.Context), a server-wide drain abort, and the
+	// per-request deadline. The causes carry the request id, so the
+	// engine's wrapped errors name the query they stopped.
+	evalCtx, cancel := context.WithCancelCause(r.Context())
+	defer cancel(nil)
+	stop := context.AfterFunc(s.abortCtx, func() {
+		cancel(context.Cause(s.abortCtx))
+	})
+	defer stop()
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		evalCtx, tcancel = context.WithTimeoutCause(evalCtx, timeout,
+			fmt.Errorf("request %s exceeded its %s timeout", id, timeout))
+		defer tcancel()
+	}
+
+	// Wait for an evaluation slot; the wait is bounded by the same
+	// context as the evaluation.
+	s.reg.QueueEnter()
+	select {
+	case s.slots <- struct{}{}:
+		s.reg.QueueLeave()
+	case <-evalCtx.Done():
+		s.reg.QueueLeave()
+		fail(http.StatusServiceUnavailable,
+			fmt.Errorf("waiting for an evaluation slot: %w", context.Cause(evalCtx)))
+		return
+	}
+	defer func() { <-s.slots }()
+
+	finish := s.reg.QueryStarted()
+	defer finish()
+
+	opts := existdlog.EvalOptions{
+		BooleanCut: true,
+		Trace:      true,
+		MaxFacts:   s.cfg.MaxFacts,
+	}
+	if s.cfg.Parallel {
+		opts.Strategy = existdlog.Parallel
+	}
+	res, evalErr := existdlog.EvalContext(evalCtx, c.prog, s.db, opts)
+	elapsed := s.now().Sub(start)
+	if evalErr != nil && (res == nil || !res.Partial) {
+		status := errStatus(evalErr)
+		if errors.Is(evalErr, existdlog.ErrArityMismatch) {
+			status = http.StatusBadRequest
+		}
+		fail(status, evalErr)
+		return
+	}
+
+	outcome := obs.OutcomeOK
+	if res.Partial {
+		outcome = obs.OutcomePartial
+	}
+	s.reg.ObserveQuery(res.Stats, res.Trace, elapsed, outcome)
+
+	answers := res.Answers(c.goal)
+	if answers == nil {
+		answers = [][]string{}
+	}
+	resp := queryResponse{
+		Request:        id,
+		Goal:           c.goal.String(),
+		Answers:        answers,
+		Count:          len(answers),
+		Partial:        res.Partial,
+		Incomplete:     res.Incomplete,
+		Cached:         cached,
+		ElapsedSeconds: elapsed.Seconds(),
+		Stats: statsJSON{
+			Iterations:    res.Stats.Iterations,
+			FactsDerived:  res.Stats.FactsDerived,
+			Derivations:   res.Stats.Derivations,
+			DuplicateHits: res.Stats.DuplicateHits,
+			JoinProbes:    res.Stats.JoinProbes,
+			RulesRetired:  res.Stats.RulesRetired,
+		},
+	}
+	if req.Trace && res.Trace != nil {
+		resp.Rules = res.Trace.Rules
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "query",
+		slog.String("request", id),
+		slog.String("goal", c.goal.String()),
+		slog.String("outcome", string(outcome)),
+		slog.Int("answers", len(answers)),
+		slog.Int("facts", res.Stats.FactsDerived),
+		slog.Bool("cached", cached),
+		slog.Duration("elapsed", elapsed))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "metrics scrape failed",
+			slog.String("error", err.Error()))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}

@@ -93,6 +93,17 @@ func (m *Metrics) Totals() (emitted, facts, duplicates, probes int64) {
 	return
 }
 
+// TotalFirings sums the per-rule firing counters — the companion to
+// Totals for the one counter Stats does not aggregate (the obs registry
+// drains it into its lifetime firing counter).
+func (m *Metrics) TotalFirings() int64 {
+	var n int64
+	for i := range m.Rules {
+		n += m.Rules[i].Firings
+	}
+	return n
+}
+
 // Retired counts rules with a recorded cut event.
 func (m *Metrics) Retired() int {
 	n := 0
