@@ -9,7 +9,8 @@
 //	existdlog grammar file.dl                           chain-program/grammar analysis
 //	existdlog equiv left.dl right.dl                    Section 4 equivalence report
 //	existdlog bench [-repeat n] [-json f] [-cpuprofile f] [-memprofile f]  run the experiment suite tables
-//	existdlog serve [-addr host:port] [-timeout 10s] file.dl  HTTP query service with metrics and health probes
+//	existdlog serve [-addr host:port] [-timeout 10s] [-wal dir] file.dl  HTTP query service with metrics and health probes
+//	existdlog repl [-server URL] [file.dl...]           interactive session; :add/:retract mutate a served instance
 //
 // Program files contain rules, ground facts, and one "?- goal." query in
 // the syntax of the parser package (p@nd writes the paper's p^nd).
@@ -79,9 +80,9 @@ commands:
   why        print the derivation tree of one answer
   grammar    analyze a binary chain program as a grammar
   equiv      compare two programs under the paper's equivalences
-  repl       interactive session (rules, facts, and ?- queries)
+  repl       interactive session (rules, facts, ?- queries; -server connects :add/:retract to a served instance)
   bench      run the experiment suite and print its tables
-  serve      HTTP query service: /query, /metrics, /healthz, /debug/pprof
+  serve      HTTP query service: /query, /update, /retract, /metrics, /healthz, /debug/pprof (-wal makes writes durable)
 `)
 }
 

@@ -3,10 +3,15 @@ package main
 import (
 	"bytes"
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"existdlog/internal/server"
 )
 
 // capture runs f with os.Stdout redirected and returns what it printed.
@@ -241,5 +246,77 @@ func TestReplLoadFile(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "3 answers") {
 		t.Errorf("load+query output:\n%s", out.String())
+	}
+}
+
+// TestReplMutations drives :add and :retract both locally (editing the
+// accumulated program) and connected to a served instance with -server
+// semantics (posting to /update and /retract).
+func TestReplMutations(t *testing.T) {
+	// Local: mutations edit the session program in place.
+	var out strings.Builder
+	sess := &replSession{out: &out, optimize: true}
+	for _, line := range []string{
+		"a(X,Y) :- p(X,Y).",
+		"a(X,Y) :- p(X,Z), a(Z,Y).",
+		"p(1,2).",
+		":add p(2,3)",
+		"?- a(1,X).",
+		":retract p(2,3).",
+		"?- a(1,X).",
+	} {
+		if err := sess.handle(line); err != nil {
+			t.Fatalf("%q: %v", line, err)
+		}
+	}
+	got := out.String()
+	if !strings.Contains(got, "2 answers") || !strings.Contains(got, "1 answers") {
+		t.Errorf("local :add/:retract did not change query results:\n%s", got)
+	}
+	if err := sess.handle(":retract p(9,9)."); err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Errorf("retracting an absent fact: err=%v", err)
+	}
+	if err := sess.handle(":add a(X,Y) :- p(X,Y)."); err == nil || !strings.Contains(err.Error(), "ground fact") {
+		t.Errorf("adding a rule via :add: err=%v", err)
+	}
+
+	// Served: the same commands post to a live instance's mutation
+	// endpoints and print the acknowledged sequence numbers.
+	srv, err := server.New(server.Config{
+		Source: "a(X,Y) :- p(X,Y).\na(X,Y) :- p(X,Z), a(Z,Y).\np(1,2).\n?- a(1,X).",
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out2 strings.Builder
+	sess2 := &replSession{out: &out2, optimize: true, server: ts.URL}
+	if err := sess2.handle(":add p(2,3)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess2.handle(":retract p(1,2)."); err != nil {
+		t.Fatal(err)
+	}
+	got2 := out2.String()
+	if !strings.Contains(got2, "update acknowledged at seq 1") ||
+		!strings.Contains(got2, "retract acknowledged at seq 2") {
+		t.Errorf("served :add/:retract acks:\n%s", got2)
+	}
+	if err := sess2.handle(":add a(5,6)"); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Errorf("adding a derived fact against the server: err=%v", err)
+	}
+	// The served program now has p(2,3) only: a(2,3) is the single answer.
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"goal":"?- a(X,Y)."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"count": 1`) || !strings.Contains(string(body), `"2"`) || !strings.Contains(string(body), `"3"`) {
+		t.Errorf("served query after mutations: %s", body)
 	}
 }

@@ -2,11 +2,14 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,8 +28,9 @@ import (
 func cmdRepl(args []string) error {
 	fs := flag.NewFlagSet("repl", flag.ExitOnError)
 	noopt := fs.Bool("noopt", false, "evaluate queries without optimizing")
+	serverURL := fs.String("server", "", "base URL of a running `existdlog serve` instance; :add and :retract post to it")
 	fs.Parse(args)
-	sess := &replSession{out: os.Stdout, optimize: !*noopt}
+	sess := &replSession{out: os.Stdout, optimize: !*noopt, server: strings.TrimRight(*serverURL, "/")}
 	for _, path := range fs.Args() {
 		if err := sess.loadFile(path); err != nil {
 			return err
@@ -59,6 +63,7 @@ func cmdRepl(args []string) error {
 type replSession struct {
 	out       io.Writer
 	optimize  bool
+	server    string // base URL of a served instance; "" = purely local
 	rules     []string
 	facts     []string
 	factCount int // parsed facts (a line may hold several)
@@ -136,6 +141,8 @@ func (s *replSession) handle(line string) error {
 		fmt.Fprint(s.out, `  p(X) :- q(X,Y).   add a rule
   q(1,2).           add a fact
   ?- p(X).          run a query (optimized unless -noopt)
+  :add q(3,4).      assert a base fact — on the connected server with -server, else locally
+  :retract q(1,2).  retract a base fact (the server also retracts what it alone supported)
   :load FILE        load rules and facts from a file
   :rules            list the current rules
   :facts            list the current facts
@@ -164,6 +171,10 @@ func (s *replSession) handle(line string) error {
 		return s.why(strings.TrimSpace(strings.TrimPrefix(line, ":why ")))
 	case strings.HasPrefix(line, "why "):
 		return s.why(strings.TrimSpace(strings.TrimPrefix(line, "why ")))
+	case strings.HasPrefix(line, ":add "):
+		return s.mutate("update", strings.TrimSpace(strings.TrimPrefix(line, ":add ")))
+	case strings.HasPrefix(line, ":retract "):
+		return s.mutate("retract", strings.TrimSpace(strings.TrimPrefix(line, ":retract ")))
 	case strings.HasPrefix(line, ":load "):
 		return s.loadFile(strings.TrimSpace(strings.TrimPrefix(line, ":load ")))
 	case line == ":optimize":
@@ -177,6 +188,71 @@ func (s *replSession) handle(line string) error {
 	default:
 		return s.addClause(line)
 	}
+}
+
+// mutate asserts or retracts one base fact. Connected to a served
+// instance (-server), it posts to /update or /retract and reports the
+// acknowledged sequence number — the fact is then durable if the server
+// runs with -wal. Without a server it edits the local accumulated
+// program, so the next query sees the change.
+func (s *replSession) mutate(op, fact string) error {
+	if !strings.HasSuffix(fact, ".") {
+		fact += "."
+	}
+	res, err := parser.Parse(fact)
+	if err != nil {
+		return err
+	}
+	if len(res.Program.Rules) > 0 || len(res.Facts) != 1 {
+		return fmt.Errorf("%s takes exactly one ground fact, e.g. q(1,2)", op)
+	}
+	if s.server != "" {
+		return s.mutateServed(op, fact)
+	}
+	if op == "update" {
+		return s.addClause(fact)
+	}
+	// Local retract: drop the matching stored line. Lines that bundle
+	// several clauses only match when retracted verbatim.
+	for i, f := range s.facts {
+		if f == fact {
+			s.facts = append(s.facts[:i], s.facts[i+1:]...)
+			s.factCount--
+			return nil
+		}
+	}
+	return fmt.Errorf("fact %s not present", strings.TrimSuffix(fact, "."))
+}
+
+// mutateServed posts the fact to the connected server's mutation
+// endpoint and prints the acknowledged sequence number.
+func (s *replSession) mutateServed(op, fact string) error {
+	body, err := json.Marshal(struct {
+		Facts []string `json:"facts"`
+	}{Facts: []string{fact}})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(s.server+"/"+op, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", op, resp.Status, strings.TrimSpace(string(payload)))
+	}
+	var ack struct {
+		Seq uint64 `json:"seq"`
+	}
+	if err := json.Unmarshal(payload, &ack); err != nil {
+		return fmt.Errorf("%s: bad server response: %w", op, err)
+	}
+	fmt.Fprintf(s.out, "%% %s acknowledged at seq %d\n", op, ack.Seq)
+	return nil
 }
 
 func (s *replSession) loadFile(path string) error {

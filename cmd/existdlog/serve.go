@@ -19,12 +19,15 @@ import (
 )
 
 // cmdServe runs the long-running query service: a program is loaded
-// once and HTTP clients evaluate goals against it (POST /query), with
-// Prometheus metrics (/metrics), health and readiness probes (/healthz,
-// /readyz), and the stdlib profiler (/debug/pprof). Logs are structured
-// JSON on stderr. SIGINT/SIGTERM drain gracefully: readiness flips to
-// 503, in-flight queries get a grace period, stragglers are aborted
-// into sound partial results, and a final metrics snapshot is logged.
+// once and HTTP clients evaluate goals against it (POST /query) or
+// mutate its base facts (POST /update, POST /retract), with Prometheus
+// metrics (/metrics), health and readiness probes (/healthz, /readyz),
+// and the stdlib profiler (/debug/pprof). With -wal, acknowledged
+// mutations are durable: they are replayed from the fsync'd log (and
+// periodic checkpoints) on restart. Logs are structured JSON on stderr.
+// SIGINT/SIGTERM drain gracefully: readiness flips to 503, in-flight
+// queries get a grace period, stragglers are aborted into sound partial
+// results, and a final metrics snapshot is logged.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8347", "listen address")
@@ -35,6 +38,8 @@ func cmdServe(args []string) error {
 	maxConcurrent := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "concurrently evaluating queries; excess requests queue")
 	maxFacts := fs.Int("max-facts", 0, "per-query derived fact limit (0 = unlimited)")
 	drainGrace := fs.Duration("drain", 5*time.Second, "shutdown grace before in-flight queries are aborted")
+	walDir := fs.String("wal", "", "directory for the durable write-ahead log and checkpoints (empty = mutations are memory-only)")
+	snapshotEvery := fs.Int("snapshot-every", 1024, "checkpoint the store after this many logged mutations (0 = never; needs -wal)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("serve: expected one program file")
@@ -56,10 +61,13 @@ func cmdServe(args []string) error {
 		MaxConcurrent:  *maxConcurrent,
 		MaxFacts:       *maxFacts,
 		Logger:         logger,
+		WALDir:         *walDir,
+		SnapshotEvery:  *snapshotEvery,
 	})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -72,7 +80,9 @@ func cmdServe(args []string) error {
 		slog.Int("facts", facts),
 		slog.String("default_goal", goal),
 		slog.String("addr", ln.Addr().String()),
-		slog.Int("max_concurrent", *maxConcurrent))
+		slog.Int("max_concurrent", *maxConcurrent),
+		slog.String("wal", *walDir),
+		slog.Uint64("seq", srv.Store().Current().Seq))
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -123,6 +133,10 @@ func logFinalSnapshot(logger *slog.Logger, snap *obs.Snapshot) {
 		slog.Int64("passes", snap.Iterations),
 		slog.Int64("cache_hits", snap.CacheHits),
 		slog.Int64("cache_misses", snap.CacheMisses),
+		slog.Int64("updates_ok", snap.Mutations["update/ok"]),
+		slog.Int64("retracts_ok", snap.Mutations["retract/ok"]),
+		slog.Int64("wal_records", snap.WALRecords),
+		slog.Int64("checkpoints", snap.Snapshots),
 		slog.Duration("latency_p50", quantileDuration(snap.Latency, 0.50)),
 		slog.Duration("latency_p95", quantileDuration(snap.Latency, 0.95)),
 		slog.Duration("latency_p99", quantileDuration(snap.Latency, 0.99)),

@@ -207,3 +207,47 @@ func (db *Database) ActiveDomain() []int32 {
 func (db *Database) Replace(key string, rel *Relation) {
 	db.rels[key] = rel
 }
+
+// RemoveFacts deletes the given rows from relation key and returns how
+// many were actually present. Like incremental retraction, it rebuilds
+// the relation without the deleted tuples (relations have no in-place
+// delete: indexes and insertion order are append-only), so callers
+// should batch removals rather than loop over single rows. Rows naming
+// unknown constants or absent tuples are ignored.
+func (db *Database) RemoveFacts(key string, rows [][]string) int {
+	rel, ok := db.rels[key]
+	if !ok {
+		return 0
+	}
+	dead := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		if len(row) != rel.Arity() {
+			continue
+		}
+		t := make(Tuple, len(row))
+		miss := false
+		for i, name := range row {
+			id, ok := db.Syms.Lookup(name)
+			if !ok {
+				miss = true
+				break
+			}
+			t[i] = id
+		}
+		if miss || !rel.Contains(t) {
+			continue
+		}
+		dead[tupleKey(t)] = true
+	}
+	if len(dead) == 0 {
+		return 0
+	}
+	fresh := NewRelation(rel.Arity())
+	for _, t := range rel.Tuples() {
+		if !dead[tupleKey(t)] {
+			fresh.Insert(t)
+		}
+	}
+	db.rels[key] = fresh
+	return len(dead)
+}

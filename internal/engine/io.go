@@ -52,3 +52,127 @@ func (db *Database) WriteCSV(rel string, w io.Writer) error {
 	cw.Flush()
 	return cw.Error()
 }
+
+// Snapshot serialization: a whole database as one self-describing text
+// stream, used by the durable query service to checkpoint its store.
+// The format is CSV records throughout — constants may contain commas,
+// quotes, and newlines, and csv quoting already round-trips all of them:
+//
+//	existdlog-db,1                 header: magic, format version
+//	rel,<key>,<arity>,<rows>       one per relation, keys sorted
+//	<c1>,...,<cn>                  the rows, sorted (Facts order)
+//	end,<total-rows>               trailer, row count as a checksum
+//
+// Relations are written even when empty (arity is part of the database's
+// shape: a restored server must reject the same mismatches the original
+// did). Sorted keys and rows make the encoding deterministic, so equal
+// databases serialize byte-identically.
+
+const snapshotMagic = "existdlog-db"
+
+// WriteSnapshot serializes the database to w.
+func (db *Database) WriteSnapshot(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	total := 0
+	if err := cw.Write([]string{snapshotMagic, "1"}); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	for _, key := range db.Keys() {
+		rel, _ := db.Lookup(key)
+		head := []string{"rel", key, fmt.Sprint(rel.Arity()), fmt.Sprint(rel.Len())}
+		if err := cw.Write(head); err != nil {
+			return fmt.Errorf("engine: snapshot %s: %w", key, err)
+		}
+		if rel.Arity() == 0 {
+			// A boolean relation's single possible row is the empty tuple,
+			// which csv cannot encode as a record; the header's row count
+			// (0 or 1) carries the presence bit instead.
+			total += rel.Len()
+			continue
+		}
+		for _, row := range db.Facts(key) {
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("engine: snapshot %s: %w", key, err)
+			}
+			total++
+		}
+	}
+	if err := cw.Write([]string{"end", fmt.Sprint(total)}); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSnapshot deserializes a database written by WriteSnapshot. A
+// malformed or truncated stream (no trailer, wrong row counts) is an
+// error: snapshot readers must be able to tell a torn file from a
+// complete one.
+func ReadSnapshot(r io.Reader) (*Database, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	db := NewDatabase()
+	rec, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("engine: snapshot header: %w", err)
+	}
+	if len(rec) != 2 || rec[0] != snapshotMagic || rec[1] != "1" {
+		return nil, fmt.Errorf("engine: snapshot header %q: not an existdlog-db v1 snapshot", rec)
+	}
+	total := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil, fmt.Errorf("engine: snapshot truncated: no end trailer")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: snapshot: %w", err)
+		}
+		switch rec[0] {
+		case "end":
+			if len(rec) != 2 || rec[1] != fmt.Sprint(total) {
+				return nil, fmt.Errorf("engine: snapshot trailer %q: want %d rows", rec, total)
+			}
+			return db, nil
+		case "rel":
+			if len(rec) != 4 {
+				return nil, fmt.Errorf("engine: snapshot relation header %q", rec)
+			}
+			key := rec[1]
+			var arity, rows int
+			if _, err := fmt.Sscan(rec[2], &arity); err != nil || arity < 0 {
+				return nil, fmt.Errorf("engine: snapshot %s: bad arity %q", key, rec[2])
+			}
+			if _, err := fmt.Sscan(rec[3], &rows); err != nil || rows < 0 {
+				return nil, fmt.Errorf("engine: snapshot %s: bad row count %q", key, rec[3])
+			}
+			if err := db.CheckArity(key, arity); err != nil {
+				return nil, fmt.Errorf("engine: snapshot: %w", err)
+			}
+			db.Relation(key, arity)
+			if arity == 0 {
+				if rows > 1 {
+					return nil, fmt.Errorf("engine: snapshot %s: boolean relation with %d rows", key, rows)
+				}
+				if rows == 1 {
+					db.Add(key)
+				}
+				total += rows
+				continue
+			}
+			for i := 0; i < rows; i++ {
+				row, err := cr.Read()
+				if err != nil {
+					return nil, fmt.Errorf("engine: snapshot %s row %d: %w", key, i+1, err)
+				}
+				if len(row) != arity {
+					return nil, fmt.Errorf("engine: snapshot %s row %d: %d fields, want %d", key, i+1, len(row), arity)
+				}
+				db.Add(key, row...)
+				total++
+			}
+		default:
+			return nil, fmt.Errorf("engine: snapshot: unexpected record %q", rec)
+		}
+	}
+}

@@ -239,6 +239,13 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 		}
 	}
 	ev.deltas = ev.next
+	// The re-derivation seeding acts as this run's startup pass, so the
+	// boolean cut applies at its barrier and after every propagation pass
+	// below — exactly as in Eval and Update. Without it, boolean rules
+	// whose heads survive the retraction were never retired, and both
+	// Stats.RulesRetired and the trace's Cut events diverged from a fresh
+	// Eval of the post-retraction database.
+	ev.applyCut()
 	for len(ev.deltas) > 0 {
 		if err := ev.checkCtx(); err != nil {
 			return ev.finish(err)
@@ -252,6 +259,7 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 			return ev.finish(err)
 		}
 		ev.deltas = ev.next
+		ev.applyCut()
 	}
 	return ev.finish(nil)
 }

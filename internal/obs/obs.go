@@ -75,12 +75,28 @@ type Registry struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// Mutation-path state (the serve write path): mutations by op and
+	// outcome, durable-store shape gauges, WAL and checkpoint activity,
+	// and full re-evaluation fallbacks.
+	mutations    [4]atomic.Int64 // (update, retract) x (ok, error)
+	storeSeq     atomic.Int64
+	storeBase    atomic.Int64
+	storeDerived atomic.Int64
+	walRecords   atomic.Int64
+	walSyncs     atomic.Int64
+	snapshots    atomic.Int64
+	reevals      atomic.Int64
+
 	// Latency observes per-query wall time in seconds; Facts observes
 	// per-query distinct derived facts; Deltas observes every per-pass
-	// per-predicate delta size a traced query reported.
-	Latency *Histogram
-	Facts   *Histogram
-	Deltas  *Histogram
+	// per-predicate delta size a traced query reported. BatchSize
+	// observes mutations applied per maintenance pass (group commit
+	// batching), and Maintenance its wall time in seconds.
+	Latency     *Histogram
+	Facts       *Histogram
+	Deltas      *Histogram
+	BatchSize   *Histogram
+	Maintenance *Histogram
 
 	rules sync.Map // rule text -> *RuleCounters
 
@@ -90,10 +106,12 @@ type Registry struct {
 // NewRegistry returns an empty registry with the default buckets.
 func NewRegistry() *Registry {
 	return &Registry{
-		Latency: NewHistogram(LatencyBuckets()...),
-		Facts:   NewHistogram(SizeBuckets()...),
-		Deltas:  NewHistogram(SizeBuckets()...),
-		start:   time.Now(),
+		Latency:     NewHistogram(LatencyBuckets()...),
+		Facts:       NewHistogram(SizeBuckets()...),
+		Deltas:      NewHistogram(SizeBuckets()...),
+		BatchSize:   NewHistogram(SizeBuckets()...),
+		Maintenance: NewHistogram(LatencyBuckets()...),
+		start:       time.Now(),
 	}
 }
 
@@ -122,6 +140,52 @@ func (r *Registry) QueueLeave() { r.queueDepth.Add(-1) }
 // CacheHit / CacheMiss count optimized-program cache lookups.
 func (r *Registry) CacheHit()  { r.cacheHits.Add(1) }
 func (r *Registry) CacheMiss() { r.cacheMisses.Add(1) }
+
+// mutationOps and mutationOutcomes index the mutations array; both are
+// sorted so the exposition pre-declares every series at zero.
+var (
+	mutationOps      = []string{"retract", "update"}
+	mutationOutcomes = []string{"error", "ok"}
+)
+
+func mutationIndex(op string, ok bool) int {
+	i := 0
+	if op == "update" {
+		i = 1
+	}
+	if ok {
+		return i*2 + 1
+	}
+	return i * 2
+}
+
+// ObserveMutation counts one finished write request by op ("update" or
+// "retract") and outcome.
+func (r *Registry) ObserveMutation(op string, ok bool) {
+	r.mutations[mutationIndex(op, ok)].Add(1)
+}
+
+// ObserveMaintenance records one applier maintenance pass: how many
+// acknowledged mutations it batched and how long it took.
+func (r *Registry) ObserveMaintenance(batched int, elapsed time.Duration) {
+	r.BatchSize.Observe(float64(batched))
+	r.Maintenance.Observe(elapsed.Seconds())
+}
+
+// SetStoreShape publishes the current store version's shape: its
+// sequence number and its base/derived fact counts.
+func (r *Registry) SetStoreShape(seq uint64, base, derived int) {
+	r.storeSeq.Store(int64(seq))
+	r.storeBase.Store(int64(base))
+	r.storeDerived.Store(int64(derived))
+}
+
+// WALAppended / WALSynced / SnapshotWritten / Reevaluated count the
+// durability layer's activity.
+func (r *Registry) WALAppended(records int) { r.walRecords.Add(int64(records)) }
+func (r *Registry) WALSynced()              { r.walSyncs.Add(1) }
+func (r *Registry) SnapshotWritten()        { r.snapshots.Add(1) }
+func (r *Registry) Reevaluated()            { r.reevals.Add(1) }
 
 // ObserveError records a query that produced no Result (parse error,
 // arity mismatch, internal error) — only the outcome counter and the
@@ -210,9 +274,21 @@ type Snapshot struct {
 	CacheHits   int64
 	CacheMisses int64
 
-	Latency HistogramSnapshot
-	Facts   HistogramSnapshot
-	Deltas  HistogramSnapshot
+	// Mutations maps "op/outcome" (e.g. "update/ok") to its counter.
+	Mutations         map[string]int64
+	StoreSeq          int64
+	StoreBaseFacts    int64
+	StoreDerivedFacts int64
+	WALRecords        int64
+	WALSyncs          int64
+	Snapshots         int64
+	Reevals           int64
+
+	Latency     HistogramSnapshot
+	Facts       HistogramSnapshot
+	Deltas      HistogramSnapshot
+	BatchSize   HistogramSnapshot
+	Maintenance HistogramSnapshot
 
 	Rules []RuleSnapshot // sorted by rule text
 
@@ -233,25 +309,40 @@ func (s *Snapshot) TotalQueries() int64 {
 // can never hold up the scrape and vice versa.
 func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{
-		Queries:       make(map[Outcome]int64, len(outcomes)),
-		InFlight:      r.inFlight.Load(),
-		QueueDepth:    r.queueDepth.Load(),
-		FactsDerived:  r.factsDerived.Load(),
-		Derivations:   r.derivations.Load(),
-		DuplicateHits: r.duplicateHits.Load(),
-		JoinProbes:    r.joinProbes.Load(),
-		Iterations:    r.iterations.Load(),
-		RulesRetired:  r.rulesRetired.Load(),
-		RuleFirings:   r.ruleFirings.Load(),
-		CacheHits:     r.cacheHits.Load(),
-		CacheMisses:   r.cacheMisses.Load(),
-		Latency:       r.Latency.Snapshot(),
-		Facts:         r.Facts.Snapshot(),
-		Deltas:        r.Deltas.Snapshot(),
-		Start:         r.start,
+		Queries:           make(map[Outcome]int64, len(outcomes)),
+		InFlight:          r.inFlight.Load(),
+		QueueDepth:        r.queueDepth.Load(),
+		FactsDerived:      r.factsDerived.Load(),
+		Derivations:       r.derivations.Load(),
+		DuplicateHits:     r.duplicateHits.Load(),
+		JoinProbes:        r.joinProbes.Load(),
+		Iterations:        r.iterations.Load(),
+		RulesRetired:      r.rulesRetired.Load(),
+		RuleFirings:       r.ruleFirings.Load(),
+		CacheHits:         r.cacheHits.Load(),
+		CacheMisses:       r.cacheMisses.Load(),
+		Mutations:         make(map[string]int64, len(r.mutations)),
+		StoreSeq:          r.storeSeq.Load(),
+		StoreBaseFacts:    r.storeBase.Load(),
+		StoreDerivedFacts: r.storeDerived.Load(),
+		WALRecords:        r.walRecords.Load(),
+		WALSyncs:          r.walSyncs.Load(),
+		Snapshots:         r.snapshots.Load(),
+		Reevals:           r.reevals.Load(),
+		Latency:           r.Latency.Snapshot(),
+		Facts:             r.Facts.Snapshot(),
+		Deltas:            r.Deltas.Snapshot(),
+		BatchSize:         r.BatchSize.Snapshot(),
+		Maintenance:       r.Maintenance.Snapshot(),
+		Start:             r.start,
 	}
 	for i, o := range outcomes {
 		s.Queries[o] = r.queries[i].Load()
+	}
+	for oi, op := range mutationOps {
+		for ri, res := range mutationOutcomes {
+			s.Mutations[op+"/"+res] = r.mutations[oi*2+ri].Load()
+		}
 	}
 	r.rules.Range(func(k, v any) bool {
 		c := v.(*RuleCounters)

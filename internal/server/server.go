@@ -3,6 +3,8 @@
 // evaluate goals against it.
 //
 //	POST /query        evaluate a goal (JSON in, JSON out)
+//	POST /update       add base facts (durable when a WAL is configured)
+//	POST /retract      remove base facts
 //	GET  /metrics      Prometheus text exposition of the obs registry
 //	GET  /healthz      liveness: 200 while the process runs
 //	GET  /readyz       readiness: 503 once draining begins
@@ -11,12 +13,17 @@
 // Every query evaluates with Options.Trace set and drains its Result
 // into an obs.Registry, so the process-lifetime counters exactly
 // partition the per-query Stats. Concurrent queries are safe without
-// locking in the engine: evaluation clones the shared EDB, the symbol
-// table is internally synchronized, and optimized programs are cached
-// immutably per goal. Cancellation arrives through the same context
-// plumbing the CLI uses — a per-request timeout, a client disconnect, or
-// a server-wide drain abort all land at the engine's pass barriers and
-// come back as a sound partial result.
+// locking in the engine: each query pins one immutable Version of the
+// fact store (store.go) with a single atomic load, the symbol table is
+// internally synchronized, and optimized programs are cached immutably
+// per goal — the cache survives mutations because the optimizer reasons
+// from rules alone, never from facts. Writes serialize through the
+// store's applier and are acknowledged only once durable and applied.
+// Cancellation arrives through the same context plumbing the CLI uses —
+// a per-request timeout, a client disconnect, or a server-wide drain
+// abort all land at the engine's pass barriers and come back as a sound
+// partial result; writes, by contrast, are refused while draining but
+// never aborted mid-batch.
 package server
 
 import (
@@ -40,6 +47,7 @@ import (
 	"existdlog/internal/obs"
 	"existdlog/internal/parser"
 	"existdlog/internal/trace"
+	"existdlog/internal/wal"
 )
 
 // Config configures a Server.
@@ -74,6 +82,13 @@ type Config struct {
 	// golden metrics test injects a stepping fake so latency histograms
 	// are byte-deterministic.
 	Now func() time.Time
+	// WALDir enables durable writes: /update and /retract mutations are
+	// fsync'd to an append-only log here (with periodic checkpoints) and
+	// replayed on startup. Empty keeps mutations in memory only.
+	WALDir string
+	// SnapshotEvery checkpoints the store after this many logged
+	// mutations (0 = never; the log grows until restart).
+	SnapshotEvery int
 }
 
 // compiled is one goal's ready-to-evaluate program, cached immutably.
@@ -85,12 +100,12 @@ type compiled struct {
 
 // Server is an HTTP query service over one loaded program.
 type Server struct {
-	cfg  Config
-	log  *slog.Logger
-	reg  *obs.Registry
-	now  func() time.Time
-	base *ast.Program
-	db   *engine.Database
+	cfg   Config
+	log   *slog.Logger
+	reg   *obs.Registry
+	now   func() time.Time
+	base  *ast.Program
+	store *Store
 
 	slots chan struct{}
 	cache sync.Map // goal key -> *compiled
@@ -127,6 +142,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
 	}
+	store, err := NewStore(prog, db, StoreConfig{
+		WALDir:        cfg.WALDir,
+		SnapshotEvery: cfg.SnapshotEvery,
+		MaxFacts:      cfg.MaxFacts,
+		Registry:      reg,
+		Logger:        logger,
+		Now:           now,
+	})
+	if err != nil {
+		return nil, err
+	}
 	abortCtx, abort := context.WithCancelCause(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -134,13 +160,15 @@ func New(cfg Config) (*Server, error) {
 		reg:      reg,
 		now:      now,
 		base:     prog,
-		db:       db,
+		store:    store,
 		slots:    make(chan struct{}, cfg.MaxConcurrent),
 		abortCtx: abortCtx,
 		abort:    abort,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/update", s.handleMutation)
+	s.mux.HandleFunc("/retract", s.handleMutation)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -158,11 +186,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the metrics registry (for the final snapshot log).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// Store exposes the versioned fact store (for tests and shutdown).
+func (s *Server) Store() *Store { return s.store }
+
+// Close stops the store's applier and closes its log. Call after Drain:
+// mutations still queued are failed, never half-applied.
+func (s *Server) Close() error { return s.store.Close() }
+
 // Info returns the served program's shape for startup logs: rule count,
 // base fact count, and the program's default goal ("" if none).
 func (s *Server) Info() (rules, facts int, defaultGoal string) {
-	for _, key := range s.db.Keys() {
-		facts += s.db.Count(key)
+	edb := s.store.Current().EDB
+	for _, key := range edb.Keys() {
+		facts += edb.Count(key)
 	}
 	goal := ""
 	if s.base.Query.Pred != "" {
@@ -234,25 +270,31 @@ func parseGoal(goal string) (ast.Atom, error) {
 // repetition pattern (variables renamed by first occurrence). Two goals
 // with the same key optimize to the same program and select the same
 // answers, so a cached entry is interchangeable between them.
+//
+// Constant names are arbitrary (quoted constants may contain commas,
+// colons, anything), so each variable-length field is length-prefixed:
+// the encoding is prefix-free and two distinct goals can never share a
+// key. A plain separator-joined encoding collided — p('x,c:y','z') and
+// p('x','y,c:z') serialized identically, and one goal was served the
+// other's cached program.
 func goalKey(g ast.Atom) string {
 	var sb strings.Builder
-	sb.WriteString(g.Key())
+	pred := g.Key()
+	fmt.Fprintf(&sb, "%d:%s", len(pred), pred)
 	first := make(map[string]int)
 	for _, t := range g.Args {
-		sb.WriteByte(',')
 		switch {
 		case t.Kind == ast.Constant:
-			sb.WriteString("c:")
-			sb.WriteString(t.Name)
+			fmt.Fprintf(&sb, ",c%d:%s", len(t.Name), t.Name)
 		case t.IsAnon():
-			sb.WriteByte('_')
+			sb.WriteString(",_")
 		default:
 			i, ok := first[t.Name]
 			if !ok {
 				i = len(first)
 				first[t.Name] = i
 			}
-			fmt.Fprintf(&sb, "v%d", i)
+			fmt.Fprintf(&sb, ",v%d", i)
 		}
 	}
 	return sb.String()
@@ -472,7 +514,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Parallel {
 		opts.Strategy = existdlog.Parallel
 	}
-	res, evalErr := existdlog.EvalContext(evalCtx, c.prog, s.db, opts)
+	// Pin the store version once: the whole evaluation sees one immutable
+	// base state, no matter how many writes install newer versions
+	// meanwhile.
+	res, evalErr := existdlog.EvalContext(evalCtx, c.prog, s.store.Current().EDB, opts)
 	elapsed := s.now().Sub(start)
 	if evalErr != nil && (res == nil || !res.Partial) {
 		status := errStatus(evalErr)
@@ -523,6 +568,148 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		slog.Bool("cached", cached),
 		slog.Duration("elapsed", elapsed))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// mutationRequest is the POST /update and POST /retract body.
+type mutationRequest struct {
+	// Facts are ground atoms in source syntax, e.g. "e(1,2)" or
+	// "edge('a,b',c)". /update adds them to the base facts, /retract
+	// removes them; derived predicates are rejected.
+	Facts []string `json:"facts"`
+	// TimeoutMS bounds the wait for the write to become durable and
+	// applied (0 = the server's default timeout).
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+// mutationResponse acknowledges a durable, applied write. Seq names the
+// first store version that includes it: a subsequent query observes
+// this mutation's effect.
+type mutationResponse struct {
+	Request        string  `json:"request"`
+	Op             string  `json:"op"`
+	Facts          int     `json:"facts"`
+	Seq            uint64  `json:"seq"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// parseFacts parses the request's fact strings into WAL facts.
+func parseFacts(in []string) ([]wal.Fact, error) {
+	if len(in) == 0 {
+		return nil, errors.New("no facts in request")
+	}
+	out := make([]wal.Fact, 0, len(in))
+	for _, src := range in {
+		src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), "."))
+		res, err := parser.Parse(src + ".")
+		if err != nil {
+			return nil, fmt.Errorf("parsing fact %q: %w", src, err)
+		}
+		if len(res.Facts) != 1 || len(res.Program.Rules) > 0 || res.Program.Query.Pred != "" {
+			return nil, fmt.Errorf("%q is not a single ground fact", src)
+		}
+		atom := res.Facts[0]
+		row := make([]string, len(atom.Args))
+		for i, t := range atom.Args {
+			if t.Kind != ast.Constant {
+				return nil, fmt.Errorf("fact %q is not ground", src)
+			}
+			row[i] = t.Name
+		}
+		out = append(out, wal.Fact{Key: atom.Key(), Row: row})
+	}
+	return out, nil
+}
+
+// handleMutation serves POST /update and POST /retract: parse the
+// facts, submit them to the store's applier, and acknowledge once the
+// write is durable and an including version is installed. Mutations are
+// refused while draining; one already accepted still completes — the
+// applier is never aborted mid-batch, so the drain abort that cancels
+// in-flight queries does not touch writes.
+func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
+	op := wal.OpUpdate
+	if r.URL.Path == "/retract" {
+		op = wal.OpRetract
+	}
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	if !s.enter() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	defer s.inflight.Done()
+
+	id := fmt.Sprintf("m%d", s.reqSeq.Add(1))
+	start := s.now()
+	fail := func(status int, err error) {
+		s.reg.ObserveMutation(string(op), false)
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "mutation failed",
+			slog.String("request", id),
+			slog.String("op", string(op)),
+			slog.Int("status", status),
+			slog.String("error", err.Error()))
+		writeJSON(w, status, errorResponse{Request: id, Error: err.Error()})
+	}
+
+	var req mutationRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		fail(http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+	}
+	facts, err := parseFacts(req.Facts)
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout == 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	seq, err := s.store.Mutate(ctx, Mutation{Op: op, Facts: facts})
+	if err != nil {
+		status := errStatus(err)
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusServiceUnavailable
+		}
+		fail(status, err)
+		return
+	}
+	elapsed := s.now().Sub(start)
+	s.reg.ObserveMutation(string(op), true)
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "mutation",
+		slog.String("request", id),
+		slog.String("op", string(op)),
+		slog.Int("facts", len(facts)),
+		slog.Uint64("seq", seq),
+		slog.Duration("elapsed", elapsed))
+	writeJSON(w, http.StatusOK, mutationResponse{
+		Request:        id,
+		Op:             string(op),
+		Facts:          len(facts),
+		Seq:            seq,
+		ElapsedSeconds: elapsed.Seconds(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,517 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"existdlog/internal/ast"
+	"existdlog/internal/engine"
+	"existdlog/internal/obs"
+	"existdlog/internal/wal"
+)
+
+// Store is the versioned copy-on-write fact store behind the service's
+// write path. Readers pin an immutable Version with one atomic load and
+// are never blocked: a pinned version's databases are frozen forever.
+// Writers serialize through a single applier goroutine, which drains
+// every mutation waiting in its queue into one batch — one WAL group
+// commit, one incremental maintenance pass, one atomically-installed
+// successor version — so bursts of small writes amortize both the fsync
+// and the fixpoint work.
+//
+// Durability (optional, enabled by a WAL directory): a mutation is
+// acknowledged only after its record is fsync'd in the append-only log
+// AND applied, so every acknowledged write survives SIGKILL; startup
+// replays checkpoint + log and re-materializes, reproducing the exact
+// fixpoint. Maintenance uses UpdateContext/RetractContext against the
+// previous version's materialization; any retraction error or partial
+// result is discarded — per retract.go, a partial DRed result
+// over-approximates and is unsound — and the applier falls back to a
+// full re-evaluation of the new base state instead.
+type Store struct {
+	prog *ast.Program
+	opt  engine.Options
+	reg  *obs.Registry
+	log  *slog.Logger
+	now  func() time.Time
+
+	// incremental is false for programs Update/Retract reject outright
+	// (negation); their maintenance is a full Eval per batch.
+	incremental bool
+	// matEnabled gates materialization. It starts true and flips off
+	// permanently (applier-only state) the first time the bounded
+	// fixpoint fails to complete — a program that diverges without a
+	// goal, e.g. an unbounded counter. The store then maintains only the
+	// base facts; queries never read the materialization, so they are
+	// unaffected.
+	matEnabled bool
+
+	cur atomic.Pointer[Version]
+
+	wlog      *wal.Log // nil when the store is memory-only
+	snapPath  string
+	snapEvery int
+	sinceSnap int
+
+	reqs      chan *mutReq
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Version is one immutable state of the store: the base facts, the
+// materialized fixpoint of the served program over them, and the
+// sequence number of the last mutation included. Mat is nil until the
+// first write materializes (lazily: read-only workloads never pay for a
+// fixpoint no query reads) and stays nil for programs whose bounded
+// materialization cannot complete.
+type Version struct {
+	Seq uint64
+	EDB *engine.Database
+	Mat *engine.Result
+}
+
+// Mutation is one write request: add (OpUpdate) or remove (OpRetract)
+// the given base facts.
+type Mutation struct {
+	Op    wal.Op
+	Facts []wal.Fact
+}
+
+type mutReq struct {
+	m   Mutation
+	ack chan mutAck // buffered; the applier never blocks on a waiter
+}
+
+type mutAck struct {
+	seq uint64
+	err error
+}
+
+// StoreConfig configures NewStore.
+type StoreConfig struct {
+	// WALDir enables durability: the mutation log and checkpoints live
+	// here. Empty runs the store in memory only.
+	WALDir string
+	// SnapshotEvery checkpoints the base facts after this many logged
+	// mutations, then truncates the log. 0 never checkpoints (the log
+	// grows until restart).
+	SnapshotEvery int
+	// MaxFacts bounds the store's materialized fixpoint (0 = unlimited);
+	// hitting it disables materialization rather than installing an
+	// incomplete fixpoint.
+	MaxFacts int
+	Registry *obs.Registry
+	Logger   *slog.Logger
+	Now      func() time.Time
+}
+
+const (
+	walFile  = "wal.log"
+	snapFile = "snapshot.db"
+	// maxBatch bounds how many queued mutations one maintenance pass
+	// absorbs, so acks are never starved behind an unbounded drain.
+	maxBatch = 256
+)
+
+// NewStore recovers the durable state (checkpoint, then newer log
+// records) on top of the program's own base facts, materializes the
+// fixpoint, and starts the applier.
+func NewStore(prog *ast.Program, edb *engine.Database, cfg StoreConfig) (*Store, error) {
+	s := &Store{
+		prog: prog,
+		// Full fixpoint: no cut, so Update/Retract see every derivation.
+		// MaxFacts keeps a divergent program from hanging the applier;
+		// a partial result is never installed (matEnabled flips instead).
+		opt:         engine.Options{MaxFacts: cfg.MaxFacts},
+		reg:         cfg.Registry,
+		log:         cfg.Logger,
+		now:         cfg.Now,
+		incremental: !prog.HasNegation(),
+		matEnabled:  true,
+		snapEvery:   cfg.SnapshotEvery,
+		reqs:        make(chan *mutReq, maxBatch),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	var seq uint64
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: wal dir: %w", err)
+		}
+		s.snapPath = filepath.Join(cfg.WALDir, snapFile)
+		snapSeq, snapDB, err := wal.ReadSnapshotFile(s.snapPath)
+		switch {
+		case err == nil:
+			// The checkpoint is the whole base state at snapSeq; the
+			// program's source facts are already inside it.
+			edb = snapDB
+			seq = snapSeq
+		case errors.Is(err, os.ErrNotExist):
+			// First start: the program's own facts are the base state.
+		default:
+			return nil, err
+		}
+		wlog, recs, err := wal.Open(filepath.Join(cfg.WALDir, walFile))
+		if err != nil {
+			return nil, err
+		}
+		s.wlog = wlog
+		replayed := 0
+		for _, rec := range recs {
+			if rec.Seq <= seq {
+				continue // already inside the checkpoint
+			}
+			if err := applyToEDB(edb, rec.Op, rec.Facts); err != nil {
+				wlog.Close()
+				return nil, fmt.Errorf("server: wal replay seq %d: %w", rec.Seq, err)
+			}
+			seq = rec.Seq
+			replayed++
+		}
+		s.sinceSnap = replayed
+		if replayed > 0 || snapSeq > 0 {
+			s.log.LogAttrs(context.Background(), slog.LevelInfo, "store recovered",
+				slog.Uint64("snapshot_seq", snapSeq),
+				slog.Int("wal_records", replayed),
+				slog.Uint64("seq", seq))
+		}
+	}
+	s.install(&Version{Seq: seq, EDB: edb})
+	go s.applier()
+	return s, nil
+}
+
+// Current returns the store's latest immutable version.
+func (s *Store) Current() *Version { return s.cur.Load() }
+
+// Mutate submits one mutation and waits for it to be durable and
+// applied. The returned sequence identifies the first version that
+// includes it. Cancelling ctx abandons the wait, not the write: a
+// mutation already queued may still apply.
+func (s *Store) Mutate(ctx context.Context, m Mutation) (uint64, error) {
+	if m.Op != wal.OpUpdate && m.Op != wal.OpRetract {
+		return 0, fmt.Errorf("server: unknown mutation op %q", m.Op)
+	}
+	if len(m.Facts) == 0 {
+		return 0, errors.New("server: mutation with no facts")
+	}
+	req := &mutReq{m: m, ack: make(chan mutAck, 1)}
+	select {
+	case s.reqs <- req:
+	case <-s.quit:
+		return 0, errors.New("server: store is closed")
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	select {
+	case a := <-req.ack:
+		return a.seq, a.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-s.done:
+		// The applier exited. A request enqueued concurrently with Close
+		// may have been acked just before the exit (acks are buffered) or
+		// never picked up at all.
+		select {
+		case a := <-req.ack:
+			return a.seq, a.err
+		default:
+			return 0, errors.New("server: store is closed")
+		}
+	}
+}
+
+// Close stops the applier after it finishes the batch in hand (writes
+// are never abandoned mid-apply) and closes the log. Mutations still
+// queued are failed, not applied. Safe to call more than once.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.quit)
+		<-s.done
+		if s.wlog != nil {
+			s.closeErr = s.wlog.Close()
+		}
+	})
+	return s.closeErr
+}
+
+// install publishes a version and its shape gauges.
+func (s *Store) install(v *Version) {
+	s.cur.Store(v)
+	if s.reg != nil {
+		base := 0
+		for _, key := range v.EDB.Keys() {
+			base += v.EDB.Count(key)
+		}
+		// Count the materialized relations themselves: a maintenance
+		// run's Stats.FactsDerived covers only that run's new facts.
+		derived := 0
+		if v.Mat != nil {
+			for key := range s.prog.Derived {
+				derived += v.Mat.DB.Count(key)
+			}
+		}
+		s.reg.SetStoreShape(v.Seq, base, derived)
+	}
+}
+
+// applyToEDB applies one logged mutation to the base facts. Arity
+// mismatches are the only way this fails; the applier validates before
+// logging, so during replay a failure means the served program changed
+// incompatibly under an old WAL.
+func applyToEDB(edb *engine.Database, op wal.Op, facts []wal.Fact) error {
+	switch op {
+	case wal.OpUpdate:
+		for _, f := range facts {
+			if err := edb.CheckArity(f.Key, len(f.Row)); err != nil {
+				return err
+			}
+			edb.Add(f.Key, f.Row...)
+		}
+	case wal.OpRetract:
+		byKey := map[string][][]string{}
+		for _, f := range facts {
+			byKey[f.Key] = append(byKey[f.Key], f.Row)
+		}
+		for key, rows := range byKey {
+			edb.RemoveFacts(key, rows)
+		}
+	default:
+		return fmt.Errorf("unknown op %q", op)
+	}
+	return nil
+}
+
+// applier is the single writer: it drains waiting mutations into one
+// batch, validates them, applies one maintenance pass per op-run on a
+// fresh copy of the state, group-commits the WAL, installs the new
+// version, and only then acknowledges.
+func (s *Store) applier() {
+	defer close(s.done)
+	for {
+		var first *mutReq
+		select {
+		case first = <-s.reqs:
+		case <-s.quit:
+			s.failQueued()
+			return
+		}
+		batch := []*mutReq{first}
+	drain:
+		for len(batch) < maxBatch {
+			select {
+			case r := <-s.reqs:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		s.applyBatch(batch)
+	}
+}
+
+// failQueued rejects mutations still queued at shutdown.
+func (s *Store) failQueued() {
+	for {
+		select {
+		case r := <-s.reqs:
+			r.ack <- mutAck{err: errors.New("server: store is closed")}
+		default:
+			return
+		}
+	}
+}
+
+// applyBatch runs one maintenance pass over a batch of mutations.
+func (s *Store) applyBatch(batch []*mutReq) {
+	start := s.now()
+	prev := s.cur.Load()
+	edb := prev.EDB.Clone()
+	mat := prev.Mat
+
+	// Validate against the evolving base state; invalid mutations are
+	// acked with their error and excluded from the batch (they reach
+	// neither the log nor the maintenance pass).
+	valid := batch[:0:0]
+	for _, r := range batch {
+		if err := s.validate(edb, r.m); err != nil {
+			r.ack <- mutAck{err: err}
+			continue
+		}
+		valid = append(valid, r)
+	}
+	if len(valid) == 0 {
+		return
+	}
+
+	// Maintain incrementally over runs of the same op, preserving the
+	// submission order across op changes.
+	var err error
+	for i := 0; i < len(valid); {
+		j := i
+		for j < len(valid) && valid[j].m.Op == valid[i].m.Op {
+			j++
+		}
+		run := valid[i:j]
+		mat, err = s.applyRun(edb, mat, run[0].m.Op, run)
+		if err != nil {
+			for _, r := range valid {
+				r.ack <- mutAck{err: err}
+			}
+			return
+		}
+		i = j
+	}
+
+	// Group commit: one fsync covers every record in the batch.
+	seq := prev.Seq
+	if s.wlog != nil {
+		for _, r := range valid {
+			seq++
+			if err := s.wlog.Append(wal.Record{Seq: seq, Op: r.m.Op, Facts: r.m.Facts}); err != nil {
+				s.ackAll(valid, mutAck{err: err})
+				return
+			}
+		}
+		if err := s.wlog.Sync(); err != nil {
+			s.ackAll(valid, mutAck{err: err})
+			return
+		}
+		if s.reg != nil {
+			s.reg.WALAppended(len(valid))
+			s.reg.WALSynced()
+		}
+	} else {
+		seq += uint64(len(valid))
+	}
+
+	s.install(&Version{Seq: seq, EDB: edb, Mat: mat})
+	// Checkpoint before acking: not needed for durability (the WAL
+	// already covers the batch) but it keeps "ack received" implying
+	// "checkpoint policy observed", which recovery tests rely on.
+	s.maybeSnapshot(len(valid), seq, edb)
+	if s.reg != nil {
+		s.reg.ObserveMaintenance(len(valid), s.now().Sub(start))
+	}
+	s.ackAll(valid, mutAck{seq: seq})
+}
+
+func (s *Store) ackAll(reqs []*mutReq, a mutAck) {
+	for _, r := range reqs {
+		r.ack <- a
+	}
+}
+
+// validate rejects mutations the maintenance pass must never see:
+// derived predicates (the fixpoint owns those) and arity mismatches
+// with the evolving base state.
+func (s *Store) validate(edb *engine.Database, m Mutation) error {
+	for _, f := range m.Facts {
+		if s.prog.Derived[f.Key] {
+			return fmt.Errorf("server: %s is a derived predicate; only base facts can be written", f.Key)
+		}
+		if err := edb.CheckArity(f.Key, len(f.Row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRun applies one same-op run of mutations: the base state is
+// updated in place (it is this batch's private copy), and the
+// materialization advances by one incremental pass — or, when the
+// incremental path is unavailable or unsound (no previous fixpoint yet,
+// negation, maintenance errors, a partial Retract result), by a full
+// evaluation of the new base state. A full evaluation that itself fails
+// or comes back partial disables materialization permanently instead of
+// installing an incomplete fixpoint; the base facts remain exact either
+// way, so queries are unaffected.
+func (s *Store) applyRun(edb *engine.Database, mat *engine.Result, op wal.Op, run []*mutReq) (*engine.Result, error) {
+	delta := engine.NewDatabase()
+	for _, r := range run {
+		for _, f := range r.m.Facts {
+			delta.Add(f.Key, f.Row...)
+		}
+		if err := applyToEDB(edb, op, r.m.Facts); err != nil {
+			return nil, err
+		}
+	}
+	if !s.matEnabled {
+		return nil, nil
+	}
+	if mat != nil && s.incremental {
+		var next *engine.Result
+		var err error
+		if op == wal.OpUpdate {
+			next, err = engine.Update(s.prog, mat, delta, s.opt)
+		} else {
+			next, err = engine.Retract(s.prog, mat, delta, s.opt)
+		}
+		if err == nil && next != nil && !next.Partial {
+			return next, nil
+		}
+		// An aborted Retract over-approximates (see retract.go) and a
+		// failed Update proves nothing: discard and recompute. The new
+		// base state is already in edb, so the re-evaluation is exact.
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "incremental maintenance discarded",
+			slog.String("op", string(op)),
+			slog.Any("error", err))
+		if s.reg != nil {
+			s.reg.Reevaluated()
+		}
+	}
+	next, err := engine.Eval(s.prog, edb, s.opt)
+	if err != nil || next == nil || next.Partial {
+		s.matEnabled = false
+		s.log.LogAttrs(context.Background(), slog.LevelWarn,
+			"materialization disabled: the program's fixpoint cannot complete under the store's bounds",
+			slog.Any("error", err))
+		return nil, nil
+	}
+	return next, nil
+}
+
+// maybeSnapshot checkpoints the base state once enough mutations have
+// accumulated since the last checkpoint, then truncates the log. A
+// failed checkpoint only logs: the WAL still covers every mutation, so
+// durability is unaffected.
+func (s *Store) maybeSnapshot(applied int, seq uint64, edb *engine.Database) {
+	if s.wlog == nil || s.snapEvery <= 0 {
+		return
+	}
+	s.sinceSnap += applied
+	if s.sinceSnap < s.snapEvery {
+		return
+	}
+	if err := wal.WriteSnapshotFile(s.snapPath, seq, edb); err != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "checkpoint failed",
+			slog.Any("error", err))
+		return
+	}
+	if err := s.wlog.Reset(); err != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelWarn, "wal reset failed",
+			slog.Any("error", err))
+	}
+	s.sinceSnap = 0
+	if s.reg != nil {
+		s.reg.SnapshotWritten()
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "checkpoint written",
+		slog.Uint64("seq", seq))
+}

@@ -1,0 +1,562 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"existdlog"
+	"existdlog/internal/engine"
+	"existdlog/internal/obs"
+	"existdlog/internal/wal"
+)
+
+// newTestStore parses src and opens a store over it.
+func newTestStore(t *testing.T, src string, cfg StoreConfig) *Store {
+	t.Helper()
+	prog, db, err := existdlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(prog, db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func mustMutate(t *testing.T, st *Store, op wal.Op, facts ...wal.Fact) uint64 {
+	t.Helper()
+	seq, err := st.Mutate(context.Background(), Mutation{Op: op, Facts: facts})
+	if err != nil {
+		t.Fatalf("%s: %v", op, err)
+	}
+	return seq
+}
+
+func fact(key string, row ...string) wal.Fact { return wal.Fact{Key: key, Row: row} }
+
+// TestGoalKeyCollision is the cache-collision regression: two distinct
+// goals whose quoted constants contain the old encoding's separators
+// must not share a cache key. Before the length-prefixed encoding,
+// a('x,c:y','z') and a('x','y,c:z') collided and one goal was served
+// the other's cached program and answers.
+func TestGoalKeyCollision(t *testing.T) {
+	pairs := [][2]string{
+		{"a('x,c:y','z')", "a('x','y,c:z')"},
+		{"a('1','2,c:3,c:4')", "a('1,c:2','3,c:4')"},
+		{"a('v0',X)", "a(X,'v0')"},
+		{"a('_','x')", "a(_,'x')"},
+	}
+	for _, pair := range pairs {
+		g1, err := parseGoal(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := parseGoal(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if goalKey(g1) == goalKey(g2) {
+			t.Errorf("goalKey(%s) == goalKey(%s) == %q", pair[0], pair[1], goalKey(g1))
+		}
+	}
+	// Same shape must still share a key (the cache's whole point).
+	g1, _ := parseGoal("a(X,Y)")
+	g2, _ := parseGoal("a(U,V)")
+	if goalKey(g1) != goalKey(g2) {
+		t.Errorf("alpha-equivalent goals got distinct keys %q, %q", goalKey(g1), goalKey(g2))
+	}
+}
+
+// TestGoalKeyCollisionServed drives the same regression end to end: the
+// colliding goals query different base tuples, so a collision serves
+// one goal the other's cached answers.
+func TestGoalKeyCollisionServed(t *testing.T) {
+	src := `e('x,c:y','z'). e('x','y,c:z').`
+	_, ts := newTestServer(t, Config{Source: src})
+	_, out1 := postQuery(t, ts.URL, `{"goal": "e('x,c:y','z')"}`)
+	if out1["count"].(float64) != 1 {
+		t.Fatalf("first goal: %v", out1)
+	}
+	_, out2 := postQuery(t, ts.URL, `{"goal": "e('x','y,c:z')"}`)
+	if out2["count"].(float64) != 1 {
+		t.Fatalf("second goal: %v", out2)
+	}
+	if out2["cached"].(bool) {
+		t.Error("distinct goals shared a cache entry")
+	}
+	got := fmt.Sprint(out2["answers"])
+	if !strings.Contains(got, "y,c:z") || strings.Contains(got, "x,c:y") {
+		t.Errorf("second goal served the first goal's answers: %v", got)
+	}
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp, out
+}
+
+// TestMutationEndpoints drives /update and /retract over HTTP: new
+// facts change subsequent answers, retracted facts disappear, and the
+// write is reflected in the store gauges and mutation counters.
+func TestMutationEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{Source: chainSrc})
+
+	_, out := postQuery(t, ts.URL, `{"goal": "a(X,Y)"}`)
+	if out["count"].(float64) != 6 {
+		t.Fatalf("baseline count = %v", out["count"])
+	}
+
+	resp, out := postJSON(t, ts.URL+"/update", `{"facts": ["p(4,5)"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d: %v", resp.StatusCode, out)
+	}
+	if out["seq"].(float64) != 1 {
+		t.Errorf("seq = %v, want 1", out["seq"])
+	}
+	_, out = postQuery(t, ts.URL, `{"goal": "a(X,Y)"}`)
+	if out["count"].(float64) != 10 {
+		t.Errorf("after update count = %v, want 10 (closure of a 5-chain)", out["count"])
+	}
+	if !out["cached"].(bool) {
+		t.Error("the compiled-program cache must survive mutations (it depends on rules only)")
+	}
+
+	resp, out = postJSON(t, ts.URL+"/retract", `{"facts": ["p(4,5)", "p(3,4)"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retract status %d: %v", resp.StatusCode, out)
+	}
+	_, out = postQuery(t, ts.URL, `{"goal": "a(X,Y)"}`)
+	if out["count"].(float64) != 3 {
+		t.Errorf("after retract count = %v, want 3 (closure of a 3-chain)", out["count"])
+	}
+
+	snap := s.Registry().Snapshot()
+	if snap.Mutations["update/ok"] != 1 || snap.Mutations["retract/ok"] != 1 {
+		t.Errorf("mutation counters: %v", snap.Mutations)
+	}
+	if snap.StoreSeq != 2 {
+		t.Errorf("store seq gauge = %d, want 2", snap.StoreSeq)
+	}
+	if snap.StoreBaseFacts != 2 {
+		t.Errorf("base facts gauge = %d, want 2", snap.StoreBaseFacts)
+	}
+	if snap.StoreDerivedFacts == 0 {
+		t.Error("derived facts gauge still zero after materializing writes")
+	}
+}
+
+// TestMutationRejections pins the write path's client errors: derived
+// predicates, non-ground facts, unparsable facts, arity mismatches, and
+// wrong methods. None of them may move the store's version.
+func TestMutationRejections(t *testing.T) {
+	s, ts := newTestServer(t, Config{Source: chainSrc})
+	cases := []struct {
+		name, url, body string
+		status          int
+	}{
+		{"derived predicate", "/update", `{"facts": ["a(9,9)"]}`, http.StatusBadRequest},
+		{"non-ground", "/update", `{"facts": ["p(X,1)"]}`, http.StatusBadRequest},
+		{"not a fact", "/update", `{"facts": ["p(1,2) :- q(2)"]}`, http.StatusBadRequest},
+		{"empty", "/update", `{"facts": []}`, http.StatusBadRequest},
+		{"arity mismatch", "/update", `{"facts": ["p(1,2,3)"]}`, http.StatusBadRequest},
+		{"bad json", "/retract", `{"facts": 7}`, http.StatusBadRequest},
+		{"derived retract", "/retract", `{"facts": ["a(1,2)"]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, out := postJSON(t, ts.URL+tc.url, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, resp.StatusCode, tc.status, out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /update: status %d", resp.StatusCode)
+	}
+	if v := s.Store().Current(); v.Seq != 0 {
+		t.Errorf("rejected mutations moved the version to seq %d", v.Seq)
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Mutations["update/error"] != 5 || snap.Mutations["retract/error"] != 2 {
+		t.Errorf("mutation error counters: %v", snap.Mutations)
+	}
+}
+
+// TestMutationsRefusedWhileDraining: the drain that stops admitting
+// queries stops admitting writes too.
+func TestMutationsRefusedWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{Source: chainSrc})
+	s.BeginDrain()
+	resp, out := postJSON(t, ts.URL+"/update", `{"facts": ["p(4,5)"]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("update while draining: status %d (%v)", resp.StatusCode, out)
+	}
+}
+
+// TestStoreRecovery: mutations survive a clean close and reopen, both
+// from the log alone and through a checkpoint + log-truncation cycle,
+// and the recovered materialization equals a from-scratch evaluation.
+func TestStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	src := chainSrc
+	cfg := StoreConfig{WALDir: dir, SnapshotEvery: 3}
+
+	st := newTestStore(t, src, cfg)
+	mustMutate(t, st, wal.OpUpdate, fact("p", "4", "5"), fact("p", "5", "6"))
+	mustMutate(t, st, wal.OpRetract, fact("p", "1", "2"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two updates and a retract: recovery must replay all three.
+	st2 := newTestStore(t, src, cfg)
+	v := st2.Current()
+	if v.Seq != 2 {
+		t.Fatalf("recovered seq = %d, want 2", v.Seq)
+	}
+	if got := fmt.Sprint(v.EDB.Facts("p")); got != "[[2 3] [3 4] [4 5] [5 6]]" {
+		t.Fatalf("recovered base facts: %s", got)
+	}
+
+	// Cross the checkpoint threshold: snapshot written, log truncated.
+	mustMutate(t, st2, wal.OpUpdate, fact("p", "6", "7"))
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.db")); err != nil {
+		t.Fatalf("no checkpoint after %d mutations: %v", 3, err)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil || fi.Size() != 0 {
+		t.Fatalf("log not truncated after checkpoint (size %d, err %v)", fi.Size(), err)
+	}
+	mustMutate(t, st2, wal.OpUpdate, fact("p", "7", "8"))
+	st2.Close()
+
+	// Recovery now stacks snapshot + newer log records.
+	st3 := newTestStore(t, src, cfg)
+	v = st3.Current()
+	if v.Seq != 4 {
+		t.Fatalf("recovered seq = %d, want 4", v.Seq)
+	}
+	mustMutate(t, st3, wal.OpUpdate, fact("p", "8", "9"))
+	v = st3.Current()
+
+	// Exact fixpoint: recovered materialization == scratch evaluation.
+	prog, _, err := existdlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Eval(prog, v.EDB, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Mat == nil {
+		t.Fatal("no materialization after a write")
+	}
+	if got, ref := fmt.Sprint(v.Mat.DB.Facts("a")), fmt.Sprint(want.DB.Facts("a")); got != ref {
+		t.Errorf("recovered fixpoint diverges\ngot  %s\nwant %s", got, ref)
+	}
+}
+
+// TestStoreRetractFallback: a retraction the incremental path cannot
+// complete must never install its over-approximating partial result —
+// the store recomputes from scratch instead. MaxIterations is not
+// reachable from StoreConfig by design, so simulate the unsound path
+// with a program Retract rejects outright only via negation... instead,
+// exercise the documented fallback trigger: negation disables the
+// incremental path entirely, and every mutation still yields the exact
+// fixpoint via re-evaluation.
+func TestStoreRetractFallback(t *testing.T) {
+	src := `unreach(X,Y) :- node(X), node(Y), not path(X,Y).
+path(X,Y) :- e(X,Y).
+path(X,Y) :- e(X,Z), path(Z,Y).
+?- unreach(X,Y).
+node(1). node(2). node(3).
+e(1,2). e(2,3).
+`
+	st := newTestStore(t, src, StoreConfig{})
+	mustMutate(t, st, wal.OpUpdate, fact("e", "3", "1"))
+	v := st.Current()
+	if v.Mat == nil {
+		t.Fatal("negation program not materialized")
+	}
+	// All nodes now reach each other: no unreachable pairs.
+	if got := v.Mat.DB.Count("unreach"); got != 0 {
+		t.Fatalf("after closing the cycle unreach has %d tuples", got)
+	}
+	mustMutate(t, st, wal.OpRetract, fact("e", "2", "3"))
+	v = st.Current()
+	prog, _, err := existdlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Eval(prog, v.EDB, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ref := fmt.Sprint(v.Mat.DB.Facts("unreach")), fmt.Sprint(want.DB.Facts("unreach")); got != ref {
+		t.Errorf("fallback fixpoint diverges\ngot  %s\nwant %s", got, ref)
+	}
+}
+
+// TestConcurrentReadersSeeConsistentVersions is the -race pinning test:
+// while a writer extends a chain one edge per mutation, readers pin
+// versions and check the version's own invariant — a version at Seq n
+// holds exactly the initial facts plus n edges, and an evaluation
+// against the pinned base state sees the matching closure. A reader
+// racing the applier on shared state would trip the race detector;
+// a reader observing a half-applied batch would break the invariant.
+func TestConcurrentReadersSeeConsistentVersions(t *testing.T) {
+	src := `a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+p(1,2).
+`
+	st := newTestStore(t, src, StoreConfig{})
+	prog, _, err := existdlog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := st.Current()
+				n := int(v.Seq) + 1 // edges in this version's chain
+				if got := v.EDB.Count("p"); got != n {
+					t.Errorf("version seq %d has %d edges, want %d", v.Seq, got, n)
+					return
+				}
+				res, err := engine.Eval(prog, v.EDB, engine.Options{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got, want := res.DB.Count("a"), n*(n+1)/2; got != want {
+					t.Errorf("pinned version seq %d: closure %d, want %d", v.Seq, got, want)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < writes; i++ {
+		mustMutate(t, st, wal.OpUpdate, fact("p", fmt.Sprint(i+2), fmt.Sprint(i+3)))
+	}
+	close(stop)
+	wg.Wait()
+
+	v := st.Current()
+	if v.Seq != writes {
+		t.Fatalf("final seq = %d, want %d", v.Seq, writes)
+	}
+	if v.Mat == nil {
+		t.Fatal("no materialization after writes")
+	}
+	n := writes + 1
+	if got := v.Mat.DB.Count("a"); got != n*(n+1)/2 {
+		t.Errorf("final closure %d, want %d", v.Mat.DB.Count("a"), n*(n+1)/2)
+	}
+}
+
+// TestStoreBatching: concurrent writers group-commit. The batch-size
+// histogram must account for every mutation exactly once, and the
+// number of fsyncs must not exceed the number of batches.
+func TestStoreBatching(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := newTestStore(t, "a(X,Y) :- p(X,Y).\n?- a(X,Y).\np(0,0).",
+		StoreConfig{WALDir: t.TempDir(), Registry: reg})
+	const writers, each = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				_, err := st.Mutate(context.Background(),
+					Mutation{Op: wal.OpUpdate, Facts: []wal.Fact{fact("p", fmt.Sprint(w), fmt.Sprint(i))}})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := reg.Snapshot()
+	if got := int(snap.BatchSize.Sum); got != writers*each {
+		t.Errorf("batch-size histogram accounted %d mutations, want %d", got, writers*each)
+	}
+	if snap.WALRecords != writers*each {
+		t.Errorf("wal records = %d, want %d", snap.WALRecords, writers*each)
+	}
+	batches := int64(0)
+	for _, c := range snap.BatchSize.Counts {
+		batches += c
+	}
+	if snap.WALSyncs > batches {
+		t.Errorf("more fsyncs (%d) than batches (%d): group commit is not grouping", snap.WALSyncs, batches)
+	}
+	if v := st.Current(); v.Seq != writers*each {
+		t.Errorf("final seq %d, want %d", v.Seq, writers*each)
+	}
+}
+
+// TestStoreCrashHelper is the SIGKILL victim: it opens a durable store
+// and writes edges forever, printing each edge only after its ack. Run
+// only as a subprocess of TestStoreCrashRecovery.
+func TestStoreCrashHelper(t *testing.T) {
+	dir := os.Getenv("EXISTDLOG_STORE_CRASH_DIR")
+	if dir == "" {
+		t.Skip("subprocess helper")
+	}
+	prog, db, err := existdlog.Parse(chainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(prog, db, StoreConfig{WALDir: dir, SnapshotEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; ; i++ {
+		_, err := st.Mutate(context.Background(), Mutation{
+			Op:    wal.OpUpdate,
+			Facts: []wal.Fact{fact("p", fmt.Sprint(i), fmt.Sprint(i+1))},
+		})
+		if err != nil {
+			return
+		}
+		// The ack means the record is fsync'd: it must survive SIGKILL.
+		fmt.Printf("acked %d\n", i)
+	}
+}
+
+// TestStoreCrashRecovery SIGKILLs a store mid-write-burst and verifies
+// that recovery reproduces every acknowledged write and the exact
+// fixpoint an uninterrupted run would have.
+func TestStoreCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a subprocess")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestStoreCrashHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), "EXISTDLOG_STORE_CRASH_DIR="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let a burst of acknowledged writes through, then SIGKILL with the
+	// helper still writing.
+	lastAcked := 0
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		var n int
+		if _, err := fmt.Sscanf(sc.Text(), "acked %d", &n); err == nil {
+			lastAcked = n
+			if n >= 15 {
+				break
+			}
+		}
+	}
+	if lastAcked < 15 {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatalf("helper died before the burst (last ack %d)", lastAcked)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Recover in-process from the same directory.
+	st := newTestStore(t, chainSrc, StoreConfig{WALDir: dir, SnapshotEvery: 5})
+	v := st.Current()
+	for i := 4; i <= lastAcked; i++ {
+		if !contains(v.EDB.Facts("p"), []string{fmt.Sprint(i), fmt.Sprint(i + 1)}) {
+			t.Fatalf("acknowledged edge p(%d,%d) lost in the crash", i, i+1)
+		}
+	}
+	// Unacked writes may or may not have landed, but the surviving state
+	// must be a prefix of the helper's sequence: chain edges with no gap.
+	edges := v.EDB.Count("p")
+	if int(v.Seq) != edges-3 {
+		t.Fatalf("seq %d does not match %d recovered edges", v.Seq, edges)
+	}
+
+	// Exact fixpoint equality with an uninterrupted run over the same
+	// base state: closure of an (edges+1)-node chain, counted via the
+	// recovered store's own materialization.
+	mustMutate(t, st, wal.OpUpdate, fact("p", "0", "1"))
+	v = st.Current()
+	if v.Mat == nil {
+		t.Fatal("no materialization after recovery write")
+	}
+	prog, _, err := existdlog.Parse(chainSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.Eval(prog, v.EDB, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ref := fmt.Sprint(v.Mat.DB.Facts("a")), fmt.Sprint(want.DB.Facts("a")); got != ref {
+		t.Errorf("recovered fixpoint diverges from scratch evaluation")
+	}
+}
+
+func contains(rows [][]string, row []string) bool {
+	for _, r := range rows {
+		if fmt.Sprint(r) == fmt.Sprint(row) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMutateClosedStore: a closed store fails writes instead of
+// hanging.
+func TestMutateClosedStore(t *testing.T) {
+	st := newTestStore(t, chainSrc, StoreConfig{})
+	st.Close()
+	_, err := st.Mutate(context.Background(), Mutation{Op: wal.OpUpdate, Facts: []wal.Fact{fact("p", "9", "9")}})
+	if err == nil {
+		t.Fatal("mutate on a closed store succeeded")
+	}
+	if _, err := st.Mutate(context.Background(), Mutation{Op: "bogus"}); err == nil {
+		t.Fatal("bogus op accepted")
+	}
+}

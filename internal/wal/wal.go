@@ -1,0 +1,238 @@
+// Package wal provides the durability layer for the mutable query
+// service: an append-only log of fact mutations plus checkpoint files,
+// both designed so that a process killed at any instant recovers to
+// exactly the acknowledged state.
+//
+// The log is a sequence of self-checking frames:
+//
+//	uint32 LE payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// where the payload is one JSON-encoded Record. Appends become durable
+// only at Sync (the caller groups several Appends per fsync); a crash
+// mid-write leaves a torn tail that Open detects — short frame, bad
+// checksum, or undecodable payload — and truncates away. Everything
+// before the tear was fsync'd and acknowledged; everything after it was
+// never acknowledged, so dropping it is exactly crash semantics.
+//
+// Records carry the store's sequence number. Checkpoints record the
+// sequence they cover, so replay applies only records newer than the
+// checkpoint; this makes the checkpoint-then-truncate dance safe in
+// either crash order (a stale log behind a fresh checkpoint is merely
+// redundant, never double-applied).
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"existdlog/internal/engine"
+)
+
+// Op distinguishes the two mutation kinds the service logs.
+type Op string
+
+const (
+	OpUpdate  Op = "update"
+	OpRetract Op = "retract"
+)
+
+// Fact is one base tuple named by relation key and constant row.
+type Fact struct {
+	Key string   `json:"key"`
+	Row []string `json:"row"`
+}
+
+// Record is one durable mutation: all facts of one acknowledged write.
+type Record struct {
+	Seq   uint64 `json:"seq"`
+	Op    Op     `json:"op"`
+	Facts []Fact `json:"facts"`
+}
+
+// maxFrame bounds a frame payload; anything larger in a length header is
+// treated as tail corruption rather than an attempted allocation.
+const maxFrame = 1 << 28
+
+// Log is an append-only mutation log backed by one file.
+type Log struct {
+	f       *os.File
+	lastSeq uint64
+}
+
+// Open opens (creating if absent) the log at path, replays every intact
+// record into the returned slice, and truncates any torn tail so the
+// file ends at the last intact frame, ready for appends.
+func Open(path string) (*Log, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	var recs []Record
+	br := bufio.NewReader(f)
+	var off int64 // end of the last intact frame
+	var head [8]byte
+	for {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			break // clean EOF or torn header: both end the intact prefix
+		}
+		n := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if n > maxFrame {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += int64(8 + n)
+	}
+	if err := f.Truncate(off); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{f: f}
+	for _, r := range recs {
+		if r.Seq > l.lastSeq {
+			l.lastSeq = r.Seq
+		}
+	}
+	return l, recs, nil
+}
+
+// Append writes one record frame. It is buffered by the OS only; the
+// record is not durable until Sync returns.
+func (l *Log) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("wal: encode: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if rec.Seq > l.lastSeq {
+		l.lastSeq = rec.Seq
+	}
+	return nil
+}
+
+// Sync makes every appended record durable (one fsync; callers batch
+// appends to group-commit).
+func (l *Log) Sync() error {
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return nil
+}
+
+// Reset discards the log contents. Called after a checkpoint has been
+// durably installed; safe because replay skips records at or below the
+// checkpoint sequence anyway, so a crash before the reset only costs
+// redundant (skipped) replay work.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	return nil
+}
+
+// LastSeq returns the highest sequence number seen (replayed or appended).
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Close closes the underlying file without syncing.
+func (l *Log) Close() error { return l.f.Close() }
+
+// WriteSnapshotFile durably checkpoints db, covering mutations up to and
+// including seq, at path: written to a temp file, fsync'd, then renamed
+// over path so a crash leaves either the old checkpoint or the new one,
+// never a torn file under the real name.
+func WriteSnapshotFile(path string, seq uint64, db *engine.Database) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if _, err = fmt.Fprintf(bw, "snapshot,%d\n", seq); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err = db.WriteSnapshot(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	// Make the rename itself durable.
+	if dir, derr := os.Open(filepath.Dir(path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads a checkpoint written by WriteSnapshotFile,
+// returning the covered sequence and the database. A missing file is
+// reported with an error matching os.ErrNotExist (the caller starts
+// from the initial load instead); a torn or malformed file is a hard
+// error, because WriteSnapshotFile's rename protocol should make one
+// impossible.
+func ReadSnapshotFile(path string) (uint64, *engine.Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot header: %w", err)
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(line, "snapshot,%d\n", &seq); err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot header %q: %w", line, err)
+	}
+	db, err := engine.ReadSnapshot(br)
+	if err != nil {
+		return 0, nil, err
+	}
+	return seq, db, nil
+}
