@@ -1,0 +1,274 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"existdlog/internal/harness"
+	"existdlog/internal/server"
+	"existdlog/internal/workload"
+)
+
+// cmdLoadgen drives a served instance with open-loop traffic: the
+// request schedule is generated up front (seeded Poisson arrivals over
+// the scenario's rate periods, a cohort mix of point/recursive/boolean
+// goals and update/retract mutations) and every request is dispatched
+// at its scheduled offset whether or not earlier ones have completed —
+// arrivals are paced by the clock, never by completions, so a slow
+// server accumulates concurrent requests exactly the way real traffic
+// would pile up. The run reports per-class p50/p95/p99, outcome counts
+// that partition the issued total, pass/fail against the declared SLOs,
+// and persists a schema-versioned BENCH_<scenario>.json so the perf
+// trajectory is comparable across commits.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	scenario := fs.String("scenario", "steady", "committed scenario: "+strings.Join(workload.ScenarioNames(), ", "))
+	url := fs.String("url", "http://127.0.0.1:8347", "base URL of the served instance to drive")
+	seed := fs.Int64("seed", 1, "workload seed; identical seeds yield byte-identical schedules")
+	duration := fs.Duration("duration", 0, "total run length, cycling the scenario's periods (0 = native periods)")
+	rate := fs.Float64("rate", 0, "override every arrival period's rate in requests/sec (0 = scenario rates)")
+	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request server-side timeout")
+	sloSpec := fs.String("slo", "", "objectives like p99=50ms,errors=0 (enforced: violations exit non-zero); empty uses the scenario's defaults, advisory only")
+	out := fs.String("out", "", `report file (default BENCH_<scenario>.json; "-" writes no file)`)
+	record := fs.String("record", "", "record the generated trace to this file for later -trace replay")
+	traceFile := fs.String("trace", "", "replay a recorded trace instead of generating one")
+	dry := fs.Bool("dry", false, "generate (and -record) the schedule without driving a server")
+	emit := fs.Bool("emit-program", false, "print the scenario's served program and exit")
+	check := fs.String("check", "", "validate a BENCH_*.json report against the schema and exit")
+	rev := fs.String("rev", "", "git revision stamped into the report (default: embedded build info)")
+	fs.Parse(args)
+
+	if *check != "" {
+		return checkReport(*check)
+	}
+
+	var sc workload.Scenario
+	if *traceFile == "" || *emit {
+		var ok bool
+		sc, ok = workload.Scenarios[*scenario]
+		if !ok {
+			return fmt.Errorf("loadgen: unknown scenario %q (have: %s)", *scenario, strings.Join(workload.ScenarioNames(), ", "))
+		}
+	}
+	if *emit {
+		fmt.Print(sc.Program())
+		return nil
+	}
+
+	var tr *workload.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		tr, err = workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		tr = sc.Generate(*seed, *duration, *rate)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		err = workload.WriteTrace(f, tr)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d requests (digest %s) to %s\n", len(tr.Requests), tr.Digest(), *record)
+	}
+	if *dry {
+		fmt.Printf("dry run: %d requests over %s, digest %s\n", len(tr.Requests), tr.Duration(), tr.Digest())
+		return nil
+	}
+
+	// The enforced/advisory split: an explicit -slo is a contract (a
+	// violation fails the process), a scenario default is a report line.
+	enforced := *sloSpec != ""
+	spec := *sloSpec
+	if spec == "" {
+		if s, ok := workload.Scenarios[tr.Scenario]; ok {
+			spec = s.SLO
+		}
+	}
+	slo, err := harness.ParseSLO(spec)
+	if err != nil {
+		return err
+	}
+
+	client := server.NewClient(*url)
+	if err := probeServer(client.Base); err != nil {
+		return fmt.Errorf("loadgen: no served instance at %s (start one with: existdlog loadgen -scenario %s -emit-program > /tmp/lg.dl && existdlog serve /tmp/lg.dl): %w",
+			client.Base, tr.Scenario, err)
+	}
+
+	// Ctrl-C stops dispatching and aborts in-flight requests through the
+	// same context the server's cancellation plumbing honors; whatever
+	// was measured still reports, with the remainder counted as skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("driving %s with %d requests over %s (scenario %s, seed %d)\n",
+		client.Base, len(tr.Requests), tr.Duration(), tr.Scenario, tr.Seed)
+	samples, elapsed := runTrace(ctx, client, tr, workload.RealClock{}, *reqTimeout)
+
+	rep := harness.BuildLoadReport(tr, samples, elapsed, reportRev(*rev), time.Now(), slo)
+	harness.WriteLoadTable(os.Stdout, rep)
+
+	if *out != "-" {
+		path := *out
+		if path == "" {
+			path = "BENCH_" + tr.Scenario + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = harness.WriteLoadJSON(f, rep)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", path)
+	}
+	if enforced && !harness.SLOPassed(rep.SLO) {
+		return fmt.Errorf("loadgen: SLO violated")
+	}
+	return nil
+}
+
+// runTrace executes a trace against a served instance, open loop: a
+// dispatcher goroutine sleeps until each request's offset and hands it
+// to a fresh goroutine, so in-flight requests never delay the next
+// arrival. Samples land at the request's own index (no shared append),
+// which keeps the hot path race-free by construction. A cancelled
+// context stops dispatching (the rest are marked skipped) and tears
+// down in-flight requests via the client's context plumbing.
+func runTrace(ctx context.Context, client *server.Client, tr *workload.Trace, clock workload.Clock, reqTimeout time.Duration) ([]harness.LoadSample, time.Duration) {
+	samples := make([]harness.LoadSample, len(tr.Requests))
+	start := clock.Now()
+	var wg sync.WaitGroup
+	cancelled := false
+	for i, req := range tr.Requests {
+		if !cancelled && !waitUntil(ctx, clock, start, req.Offset) {
+			cancelled = true
+		}
+		if cancelled {
+			samples[i] = harness.LoadSample{Class: req.Class, Outcome: "skipped"}
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req workload.Request) {
+			defer wg.Done()
+			t0 := clock.Now()
+			var outcome string
+			if req.Class.Mutation() {
+				res, err := client.Mutate(ctx, string(req.Class), req.Facts, reqTimeout)
+				outcome = "ok"
+				if err != nil || res.Status != http.StatusOK {
+					outcome = "error"
+				}
+			} else {
+				res, err := client.Query(ctx, req.Goal, reqTimeout)
+				switch {
+				case err != nil || res.Status != http.StatusOK:
+					outcome = "error"
+				case res.Partial:
+					outcome = "partial"
+				default:
+					outcome = "ok"
+				}
+			}
+			samples[i] = harness.LoadSample{Class: req.Class, Latency: clock.Now().Sub(t0), Outcome: outcome}
+		}(i, req)
+	}
+	wg.Wait()
+	return samples, clock.Now().Sub(start)
+}
+
+// waitUntil sleeps (in short slices, so cancellation stays responsive)
+// until offset past start; it reports false once ctx is cancelled.
+func waitUntil(ctx context.Context, clock workload.Clock, start time.Time, offset time.Duration) bool {
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		default:
+		}
+		wait := offset - clock.Now().Sub(start)
+		if wait <= 0 {
+			return true
+		}
+		if wait > 100*time.Millisecond {
+			wait = 100 * time.Millisecond
+		}
+		clock.Sleep(wait)
+	}
+}
+
+// probeServer checks the target is alive before the schedule starts, so
+// a missing server is one clear error instead of a report full of
+// connection refusals.
+func probeServer(base string) error {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}
+
+// checkReport validates a persisted BENCH_*.json against the schema.
+func checkReport(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := harness.ReadLoadReport(f)
+	if err != nil {
+		return fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	fmt.Printf("%s: valid %s report (scenario %s, %d scheduled, %d issued, digest %s)\n",
+		path, rep.Schema, rep.Scenario, rep.Schedule.Requests, rep.Results.Issued, rep.Schedule.Digest)
+	return nil
+}
+
+// reportRev resolves the revision stamped into reports: the -rev flag,
+// else the VCS revision Go embedded at build time, else "unknown".
+func reportRev(flagRev string) string {
+	if flagRev != "" {
+		return flagRev
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"existdlog/internal/harness"
+	"existdlog/internal/workload"
+)
+
+// goldenLoadReport builds a fully deterministic report: a seeded trace,
+// synthetic latencies/outcomes that are a pure function of the request
+// index, an injected git rev, and a fixed clock. Everything the live
+// path leaves to the environment is pinned here, so the BENCH json and
+// the summary table can be byte-matched against committed goldens.
+// Regenerate with: go test ./cmd/existdlog -run TestLoadgenGolden -update
+func goldenLoadReport(t *testing.T) *harness.LoadReport {
+	t.Helper()
+	tr := workload.Scenarios["mixed"].Generate(7, 4*time.Second, 0)
+	samples := make([]harness.LoadSample, len(tr.Requests))
+	for i, req := range tr.Requests {
+		outcome := "ok"
+		switch {
+		case i%29 == 11:
+			outcome = "error"
+		case i%19 == 4:
+			outcome = "partial"
+		}
+		samples[i] = harness.LoadSample{
+			Class:   req.Class,
+			Latency: time.Duration(i%23+1) * 700 * time.Microsecond,
+			Outcome: outcome,
+		}
+	}
+	slo, err := harness.ParseSLO("p99=50ms,errors=10,partials=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.BuildLoadReport(tr, samples, 4*time.Second, "deadbeefcafe", time.Unix(1754500000, 0).UTC(), slo)
+}
+
+func TestLoadgenGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := harness.WriteLoadJSON(&buf, goldenLoadReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "loadgen_bench.json", buf.String())
+}
+
+func TestLoadgenGoldenTable(t *testing.T) {
+	var buf bytes.Buffer
+	harness.WriteLoadTable(&buf, goldenLoadReport(t))
+	goldenCompare(t, "loadgen_table.txt", buf.String())
+}

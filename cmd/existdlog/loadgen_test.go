@@ -1,0 +1,265 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"existdlog/internal/harness"
+	"existdlog/internal/leakcheck"
+	"existdlog/internal/server"
+	"existdlog/internal/workload"
+)
+
+// e2eScenario is a miniature scenario so the end-to-end run finishes in
+// tens of milliseconds: a 20-node chain, a dense sub-second schedule,
+// every cohort populated.
+var e2eScenario = workload.Scenario{
+	Name:    "e2e",
+	Nodes:   20,
+	Periods: []workload.Period{{Rate: 800, Duration: 60 * time.Millisecond}},
+	Mix:     workload.Mix{Point: 0.5, Recursive: 0.2, Boolean: 0.2, MutationRatio: 0.2},
+}
+
+// countingHandler wraps the server handler, counting hits per path so
+// the test can prove every scheduled request was issued exactly once.
+type countingHandler struct {
+	inner   http.Handler
+	query   atomic.Int64
+	update  atomic.Int64
+	retract atomic.Int64
+}
+
+func (c *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/query":
+		c.query.Add(1)
+	case "/update":
+		c.update.Add(1)
+	case "/retract":
+		c.retract.Add(1)
+	}
+	c.inner.ServeHTTP(w, r)
+}
+
+// TestLoadgenEndToEnd drives a real server.Server through the open-loop
+// runner with a fixed small trace and checks the books balance: every
+// scheduled request is issued exactly once (counted at the handler),
+// the report counters partition issued = ok + error + partial, and the
+// server plus runner leak no goroutines on shutdown. CI runs this under
+// -race, which is where the per-index sample writes and the concurrent
+// client pool earn their keep.
+func TestLoadgenEndToEnd(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	srv, err := server.New(server.Config{Source: e2eScenario.Program(), Name: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &countingHandler{inner: srv.Handler()}
+	hs := httptest.NewServer(counter)
+
+	tr := e2eScenario.Generate(3, 0, 0)
+	// One deterministic error: an arity-mismatched goal the server
+	// rejects with a 400, so the error bucket is provably wired.
+	tr.Requests = append(tr.Requests, workload.Request{
+		Offset: 61 * time.Millisecond, Class: workload.ClassPoint, Goal: "tc(X)",
+	})
+
+	client := server.NewClient(hs.URL)
+	samples, elapsed := runTrace(context.Background(), client, tr, workload.RealClock{}, 5*time.Second)
+
+	rep := harness.BuildLoadReport(tr, samples, elapsed, "testrev", time.Now(), nil)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+
+	scheduled := len(tr.Requests)
+	if rep.Results.Issued != scheduled || rep.Results.Skipped != 0 {
+		t.Fatalf("issued %d, skipped %d, want all %d issued", rep.Results.Issued, rep.Results.Skipped, scheduled)
+	}
+	if got := rep.Results.OK + rep.Results.Partial + rep.Results.Errors; got != rep.Results.Issued {
+		t.Fatalf("outcomes %d do not partition issued %d", got, rep.Results.Issued)
+	}
+	if rep.Results.Errors != 1 {
+		t.Errorf("want exactly the injected arity error, got %d errors", rep.Results.Errors)
+	}
+
+	// Handler-side counts: each scheduled request hit its endpoint once.
+	var wantQuery, wantUpdate, wantRetract int64
+	for _, r := range tr.Requests {
+		switch r.Class {
+		case workload.ClassUpdate:
+			wantUpdate++
+		case workload.ClassRetract:
+			wantRetract++
+		default:
+			wantQuery++
+		}
+	}
+	if counter.query.Load() != wantQuery || counter.update.Load() != wantUpdate || counter.retract.Load() != wantRetract {
+		t.Errorf("handler hits (q %d, u %d, r %d) != scheduled (q %d, u %d, r %d)",
+			counter.query.Load(), counter.update.Load(), counter.retract.Load(),
+			wantQuery, wantUpdate, wantRetract)
+	}
+
+	// Shutdown: drain, close, and let leakcheck verify nothing survives.
+	hs.Close()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadgenCancellation cancels mid-run: dispatching stops, the
+// remainder is counted as skipped (never issued), issued + skipped
+// covers the schedule, and nothing leaks.
+func TestLoadgenCancellation(t *testing.T) {
+	defer leakcheck.Check(t)()
+
+	srv, err := server.New(server.Config{Source: e2eScenario.Program(), Name: "e2e"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+
+	sc := e2eScenario
+	sc.Periods = []workload.Period{{Rate: 200, Duration: 5 * time.Second}}
+	tr := sc.Generate(4, 0, 0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	samples, elapsed := runTrace(ctx, hsClient(hs), tr, workload.RealClock{}, time.Second)
+
+	rep := harness.BuildLoadReport(tr, samples, elapsed, "testrev", time.Now(), nil)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Results.Skipped == 0 {
+		t.Error("expected skipped requests after cancellation")
+	}
+	if rep.Results.Issued+rep.Results.Skipped != len(tr.Requests) {
+		t.Errorf("issued %d + skipped %d != scheduled %d",
+			rep.Results.Issued, rep.Results.Skipped, len(tr.Requests))
+	}
+
+	hs.Close()
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hsClient(hs *httptest.Server) *server.Client { return server.NewClient(hs.URL) }
+
+// TestLoadgenScheduleStable is the acceptance invariant: two runs with
+// the same seed emit byte-identical schedule blocks in BENCH json, even
+// though their measured latencies differ.
+func TestLoadgenScheduleStable(t *testing.T) {
+	sc := workload.Scenarios["steady"]
+	mk := func(latencyStep time.Duration) []byte {
+		tr := sc.Generate(1, 5*time.Second, 0)
+		samples := make([]harness.LoadSample, len(tr.Requests))
+		for i, req := range tr.Requests {
+			samples[i] = harness.LoadSample{Class: req.Class, Latency: time.Duration(i) * latencyStep, Outcome: "ok"}
+		}
+		rep := harness.BuildLoadReport(tr, samples, 5*time.Second, "r", time.Now(), nil)
+		b, err := json.Marshal(rep.Schedule)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(time.Microsecond), mk(3*time.Microsecond)
+	if string(a) != string(b) {
+		t.Fatalf("schedule blocks differ across runs with the same seed:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestLoadgenCheckVerb round-trips a report file through the -check
+// validator the CI job runs.
+func TestLoadgenCheckVerb(t *testing.T) {
+	tr := e2eScenario.Generate(5, 0, 0)
+	samples := make([]harness.LoadSample, len(tr.Requests))
+	for i, req := range tr.Requests {
+		samples[i] = harness.LoadSample{Class: req.Class, Latency: time.Millisecond, Outcome: "ok"}
+	}
+	rep := harness.BuildLoadReport(tr, samples, time.Second, "r", time.Now(), nil)
+	path := filepath.Join(t.TempDir(), "BENCH_e2e.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := harness.WriteLoadJSON(f, rep); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := capture(t, func() error { return checkReport(path) })
+	if !strings.Contains(out, "valid "+harness.LoadReportSchema) {
+		t.Errorf("check output: %s", out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkReport(bad); err == nil {
+		t.Error("checkReport accepted a foreign schema")
+	}
+}
+
+// TestLoadgenRecordReplayCLI exercises the -record/-trace path at the
+// command level: record a dry run, then replay the file and check the
+// replayed schedule is the recorded one.
+func TestLoadgenRecordReplayCLI(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	out := capture(t, func() error {
+		return cmdLoadgen([]string{"-scenario", "mixed", "-seed", "11", "-duration", "2s", "-record", trace, "-dry"})
+	})
+	if !strings.Contains(out, "recorded ") || !strings.Contains(out, "dry run: ") {
+		t.Fatalf("record output: %s", out)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := workload.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workload.Scenarios["mixed"].Generate(11, 2*time.Second, 0)
+	if got.Digest() != want.Digest() {
+		t.Fatalf("recorded digest %s != generated %s", got.Digest(), want.Digest())
+	}
+	// Replay dry: the digest printed must match the recorded trace.
+	out = capture(t, func() error {
+		return cmdLoadgen([]string{"-trace", trace, "-dry"})
+	})
+	if !strings.Contains(out, want.Digest()) {
+		t.Fatalf("replay dry run lost the schedule: %s", out)
+	}
+}
+
+// TestLoadgenEmitProgram checks the -emit-program escape hatch prints a
+// servable program.
+func TestLoadgenEmitProgram(t *testing.T) {
+	out := capture(t, func() error { return cmdLoadgen([]string{"-scenario", "steady", "-emit-program"}) })
+	for _, want := range []string{"tc(X,Y) :- e(X,Y).", "?- tc(X,Y).", "e(0,1)."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("emitted program missing %q", want)
+		}
+	}
+}

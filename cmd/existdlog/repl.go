@@ -2,14 +2,11 @@ package main
 
 import (
 	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -19,6 +16,7 @@ import (
 	"existdlog"
 	"existdlog/internal/obs"
 	"existdlog/internal/parser"
+	"existdlog/internal/server"
 )
 
 // cmdRepl runs an interactive session: rules and facts accumulate, and
@@ -224,34 +222,18 @@ func (s *replSession) mutate(op, fact string) error {
 	return fmt.Errorf("fact %s not present", strings.TrimSuffix(fact, "."))
 }
 
-// mutateServed posts the fact to the connected server's mutation
-// endpoint and prints the acknowledged sequence number.
+// mutateServed posts the fact through the shared server client (the
+// same one the loadgen verb drives traffic with) and prints the
+// acknowledged sequence number.
 func (s *replSession) mutateServed(op, fact string) error {
-	body, err := json.Marshal(struct {
-		Facts []string `json:"facts"`
-	}{Facts: []string{fact}})
+	res, err := server.NewClient(s.server).Mutate(context.Background(), op, []string{fact}, 0)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(s.server+"/"+op, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
+	if res.Err != "" {
+		return fmt.Errorf("%s: HTTP %d: %s", op, res.Status, res.Err)
 	}
-	defer resp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s: %s: %s", op, resp.Status, strings.TrimSpace(string(payload)))
-	}
-	var ack struct {
-		Seq uint64 `json:"seq"`
-	}
-	if err := json.Unmarshal(payload, &ack); err != nil {
-		return fmt.Errorf("%s: bad server response: %w", op, err)
-	}
-	fmt.Fprintf(s.out, "%% %s acknowledged at seq %d\n", op, ack.Seq)
+	fmt.Fprintf(s.out, "%% %s acknowledged at seq %d\n", op, res.Seq)
 	return nil
 }
 
@@ -406,9 +388,9 @@ func (s *replSession) showStats() error {
 		snap.DuplicateHits, snap.JoinProbes, snap.Iterations, snap.RulesRetired)
 	if n := snap.Latency.Count; n > 0 {
 		fmt.Fprintf(s.out, "latency: p50 %s, p95 %s, p99 %s over %d queries\n",
-			quantileDuration(snap.Latency, 0.50),
-			quantileDuration(snap.Latency, 0.95),
-			quantileDuration(snap.Latency, 0.99), n)
+			snap.Latency.QuantileDuration(0.50),
+			snap.Latency.QuantileDuration(0.95),
+			snap.Latency.QuantileDuration(0.99), n)
 	}
 	if len(snap.Rules) > 0 {
 		fmt.Fprintf(s.out, "%-8s %8s %8s %8s  %s\n", "firings", "emitted", "facts", "dup", "rule")

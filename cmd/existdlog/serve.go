@@ -137,12 +137,8 @@ func logFinalSnapshot(logger *slog.Logger, snap *obs.Snapshot) {
 		slog.Int64("retracts_ok", snap.Mutations["retract/ok"]),
 		slog.Int64("wal_records", snap.WALRecords),
 		slog.Int64("checkpoints", snap.Snapshots),
-		slog.Duration("latency_p50", quantileDuration(snap.Latency, 0.50)),
-		slog.Duration("latency_p95", quantileDuration(snap.Latency, 0.95)),
-		slog.Duration("latency_p99", quantileDuration(snap.Latency, 0.99)),
+		slog.Duration("latency_p50", snap.Latency.QuantileDuration(0.50)),
+		slog.Duration("latency_p95", snap.Latency.QuantileDuration(0.95)),
+		slog.Duration("latency_p99", snap.Latency.QuantileDuration(0.99)),
 		slog.Duration("uptime", time.Since(snap.Start)))
-}
-
-func quantileDuration(h obs.HistogramSnapshot, q float64) time.Duration {
-	return time.Duration(h.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
 }

@@ -110,13 +110,9 @@ func quantiles(row *Row, hist *obs.Histogram, completed int) {
 	}
 	snap := hist.Snapshot()
 	row.Repeats = completed
-	row.P50 = quantileDuration(snap, 0.50)
-	row.P95 = quantileDuration(snap, 0.95)
-	row.P99 = quantileDuration(snap, 0.99)
-}
-
-func quantileDuration(s obs.HistogramSnapshot, q float64) time.Duration {
-	return time.Duration(s.Quantile(q) * float64(time.Second))
+	row.P50 = snap.QuantileDuration(0.50)
+	row.P95 = snap.QuantileDuration(0.95)
+	row.P99 = snap.QuantileDuration(0.99)
 }
 
 func fill(experiment, workload, variant string, p *ast.Program, res *engine.Result, elapsed time.Duration) Row {

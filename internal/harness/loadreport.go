@@ -1,0 +1,320 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"existdlog/internal/obs"
+	"existdlog/internal/workload"
+)
+
+// LoadReportSchema versions the BENCH_<scenario>.json format the
+// loadgen verb persists. Bump it when a field changes meaning; the
+// -check validator refuses foreign schemas.
+const LoadReportSchema = "existdlog-loadgen/v1"
+
+// LoadSample is one executed request's measurement, as the open-loop
+// runner records it.
+type LoadSample struct {
+	Class   workload.Class
+	Latency time.Duration
+	// Outcome is "ok", "partial", "error", or "skipped" (scheduled but
+	// never issued because the run was cancelled).
+	Outcome string
+}
+
+// PeriodSummary is one arrival period in report units.
+type PeriodSummary struct {
+	RateRPS float64 `json:"rate_rps"`
+	Seconds float64 `json:"seconds"`
+}
+
+// ClassSchedule summarizes one class's slice of the schedule. Counts
+// and offsets are functions of (scenario, seed) alone, so this block is
+// byte-identical across runs with the same seed.
+type ClassSchedule struct {
+	Class       workload.Class `json:"class"`
+	Count       int            `json:"count"`
+	FirstOffset time.Duration  `json:"first_offset_ns"`
+	LastOffset  time.Duration  `json:"last_offset_ns"`
+}
+
+// ScheduleSummary pins the generated schedule: request count, span,
+// per-class counts/offsets, and the FNV digest over the full request
+// sequence (offsets, classes, goals, payloads).
+type ScheduleSummary struct {
+	Requests        int             `json:"requests"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	Digest          string          `json:"digest"`
+	Classes         []ClassSchedule `json:"classes"`
+}
+
+// LatencyQuantiles are interpolated histogram quantile estimates —
+// the same estimator the serve-mode Prometheus histograms use.
+type LatencyQuantiles struct {
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+}
+
+// ClassResult is one class's measured outcome counts and latency.
+type ClassResult struct {
+	Class   workload.Class `json:"class"`
+	Issued  int            `json:"issued"`
+	OK      int            `json:"ok"`
+	Partial int            `json:"partial"`
+	Errors  int            `json:"errors"`
+	LatencyQuantiles
+}
+
+// LoadResults are the run's measured outcomes. Issued always equals
+// OK + Partial + Errors — the runner classifies every issued request
+// into exactly one bucket; Skipped counts scheduled requests a
+// cancelled run never sent.
+type LoadResults struct {
+	Issued         int              `json:"issued"`
+	OK             int              `json:"ok"`
+	Partial        int              `json:"partial"`
+	Errors         int              `json:"errors"`
+	Skipped        int              `json:"skipped"`
+	ElapsedSeconds float64          `json:"elapsed_seconds"`
+	ThroughputRPS  float64          `json:"throughput_rps"`
+	Overall        LatencyQuantiles `json:"overall"`
+	Classes        []ClassResult    `json:"classes"`
+}
+
+// LoadReport is the persisted BENCH_<scenario>.json: enough to compare
+// runs across commits (scenario, seed, rev, schedule identity) plus the
+// measured quantiles and SLO verdicts.
+type LoadReport struct {
+	Schema      string          `json:"schema"`
+	Scenario    string          `json:"scenario"`
+	Seed        int64           `json:"seed"`
+	GitRev      string          `json:"git_rev"`
+	GeneratedAt string          `json:"generated_at"`
+	Periods     []PeriodSummary `json:"periods"`
+	Schedule    ScheduleSummary `json:"schedule"`
+	Results     LoadResults     `json:"results"`
+	SLO         []SLOResult     `json:"slo,omitempty"`
+}
+
+// quantile looks up a latency quantile for Evaluate: overall when class
+// is empty, else that class's row (absent class = zero, trivially met).
+func (r *LoadReport) quantile(class string, q float64) time.Duration {
+	pick := func(lq LatencyQuantiles) time.Duration {
+		switch q {
+		case 0.50:
+			return lq.P50
+		case 0.95:
+			return lq.P95
+		default:
+			return lq.P99
+		}
+	}
+	if class == "" {
+		return pick(r.Results.Overall)
+	}
+	for _, c := range r.Results.Classes {
+		if string(c.Class) == class {
+			return pick(c.LatencyQuantiles)
+		}
+	}
+	return 0
+}
+
+// BuildLoadReport assembles the report from the trace that was driven
+// and the samples the runner measured. rev and at are injectable (the
+// golden layer pins them); slo may be nil for no verdicts.
+func BuildLoadReport(tr *workload.Trace, samples []LoadSample, elapsed time.Duration, rev string, at time.Time, slo *SLO) *LoadReport {
+	rep := &LoadReport{
+		Schema:      LoadReportSchema,
+		Scenario:    tr.Scenario,
+		Seed:        tr.Seed,
+		GitRev:      rev,
+		GeneratedAt: at.UTC().Format(time.RFC3339),
+	}
+	for _, p := range tr.Periods {
+		rep.Periods = append(rep.Periods, PeriodSummary{RateRPS: p.Rate, Seconds: p.Duration.Seconds()})
+	}
+
+	rep.Schedule = ScheduleSummary{
+		Requests:        len(tr.Requests),
+		DurationSeconds: tr.Duration().Seconds(),
+		Digest:          tr.Digest(),
+	}
+	sched := map[workload.Class]*ClassSchedule{}
+	for _, req := range tr.Requests {
+		cs, ok := sched[req.Class]
+		if !ok {
+			cs = &ClassSchedule{Class: req.Class, FirstOffset: req.Offset}
+			sched[req.Class] = cs
+		}
+		cs.Count++
+		cs.LastOffset = req.Offset
+	}
+
+	overall := obs.NewHistogram(obs.LatencyBuckets()...)
+	hists := map[workload.Class]*obs.Histogram{}
+	results := map[workload.Class]*ClassResult{}
+	for _, s := range samples {
+		cr, ok := results[s.Class]
+		if !ok {
+			cr = &ClassResult{Class: s.Class}
+			results[s.Class] = cr
+			hists[s.Class] = obs.NewHistogram(obs.LatencyBuckets()...)
+		}
+		switch s.Outcome {
+		case "skipped":
+			rep.Results.Skipped++
+			continue
+		case "partial":
+			cr.Partial++
+			rep.Results.Partial++
+		case "error":
+			cr.Errors++
+			rep.Results.Errors++
+		default:
+			cr.OK++
+			rep.Results.OK++
+		}
+		cr.Issued++
+		rep.Results.Issued++
+		hists[s.Class].ObserveDuration(s.Latency)
+		overall.ObserveDuration(s.Latency)
+	}
+	for _, class := range workload.Classes {
+		if cs, ok := sched[class]; ok {
+			rep.Schedule.Classes = append(rep.Schedule.Classes, *cs)
+		}
+		cr, ok := results[class]
+		if !ok {
+			continue
+		}
+		snap := hists[class].Snapshot()
+		cr.P50, cr.P95, cr.P99 = snap.QuantileDuration(0.50), snap.QuantileDuration(0.95), snap.QuantileDuration(0.99)
+		rep.Results.Classes = append(rep.Results.Classes, *cr)
+	}
+	snap := overall.Snapshot()
+	rep.Results.Overall = LatencyQuantiles{
+		P50: snap.QuantileDuration(0.50),
+		P95: snap.QuantileDuration(0.95),
+		P99: snap.QuantileDuration(0.99),
+	}
+	rep.Results.ElapsedSeconds = elapsed.Seconds()
+	if elapsed > 0 {
+		rep.Results.ThroughputRPS = float64(rep.Results.Issued) / elapsed.Seconds()
+	}
+	if slo != nil {
+		rep.SLO = slo.Evaluate(rep)
+	}
+	return rep
+}
+
+// Validate checks a report's internal consistency: the schema version,
+// the schedule partition (per-class counts sum to the request count),
+// and the outcome partition (issued = ok + partial + errors). The
+// -check verb and the CI loadgen job run this over emitted files.
+func (r *LoadReport) Validate() error {
+	if r.Schema != LoadReportSchema {
+		return fmt.Errorf("loadreport: schema %q, want %q", r.Schema, LoadReportSchema)
+	}
+	if r.Scenario == "" {
+		return fmt.Errorf("loadreport: missing scenario")
+	}
+	if r.Schedule.Digest == "" {
+		return fmt.Errorf("loadreport: missing schedule digest")
+	}
+	sched := 0
+	for _, c := range r.Schedule.Classes {
+		sched += c.Count
+	}
+	if sched != r.Schedule.Requests {
+		return fmt.Errorf("loadreport: class schedule counts sum to %d, want %d", sched, r.Schedule.Requests)
+	}
+	if got := r.Results.OK + r.Results.Partial + r.Results.Errors; got != r.Results.Issued {
+		return fmt.Errorf("loadreport: ok+partial+errors = %d does not partition issued = %d", got, r.Results.Issued)
+	}
+	if r.Results.Issued+r.Results.Skipped > r.Schedule.Requests {
+		return fmt.Errorf("loadreport: issued %d + skipped %d exceeds scheduled %d",
+			r.Results.Issued, r.Results.Skipped, r.Schedule.Requests)
+	}
+	for _, c := range r.Results.Classes {
+		if got := c.OK + c.Partial + c.Errors; got != c.Issued {
+			return fmt.Errorf("loadreport: class %s outcomes %d do not partition issued %d", c.Class, got, c.Issued)
+		}
+	}
+	return nil
+}
+
+// ReadLoadReport loads and validates a persisted report, rejecting
+// unknown fields so schema drift is caught rather than ignored.
+func ReadLoadReport(r io.Reader) (*LoadReport, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rep LoadReport
+	if err := dec.Decode(&rep); err != nil {
+		return nil, fmt.Errorf("loadreport: decoding: %w", err)
+	}
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// WriteLoadJSON persists the report as indented JSON — the
+// BENCH_<scenario>.json format.
+func WriteLoadJSON(w io.Writer, rep *LoadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteLoadTable renders the human-readable run summary: the schedule,
+// the per-class outcome/latency table, throughput, and the SLO verdict.
+func WriteLoadTable(w io.Writer, rep *LoadReport) {
+	fmt.Fprintf(w, "== loadgen: %s (seed %d, rev %s) ==\n", rep.Scenario, rep.Seed, rep.GitRev)
+	fmt.Fprintf(w, "arrivals:")
+	for i, p := range rep.Periods {
+		if i > 0 {
+			fmt.Fprintf(w, " |")
+		}
+		fmt.Fprintf(w, " %.4grps/%.4gs", p.RateRPS, p.Seconds)
+	}
+	fmt.Fprintf(w, "\nschedule: %d requests over %.4gs, digest %s\n",
+		rep.Schedule.Requests, rep.Schedule.DurationSeconds, rep.Schedule.Digest)
+	fmt.Fprintf(w, "%-10s %6s %6s %6s %7s %6s %10s %10s %10s\n",
+		"class", "sched", "issued", "ok", "partial", "error", "p50", "p95", "p99")
+	schedCount := map[workload.Class]int{}
+	for _, c := range rep.Schedule.Classes {
+		schedCount[c.Class] = c.Count
+	}
+	for _, c := range rep.Results.Classes {
+		fmt.Fprintf(w, "%-10s %6d %6d %6d %7d %6d %10s %10s %10s\n",
+			c.Class, schedCount[c.Class], c.Issued, c.OK, c.Partial, c.Errors,
+			c.P50, c.P95, c.P99)
+	}
+	o := rep.Results
+	fmt.Fprintf(w, "%-10s %6d %6d %6d %7d %6d %10s %10s %10s\n",
+		"total", rep.Schedule.Requests, o.Issued, o.OK, o.Partial, o.Errors,
+		o.Overall.P50, o.Overall.P95, o.Overall.P99)
+	if o.Skipped > 0 {
+		fmt.Fprintf(w, "skipped: %d scheduled requests were never issued (run cancelled)\n", o.Skipped)
+	}
+	fmt.Fprintf(w, "throughput: %.4g rps issued over %.4gs\n", o.ThroughputRPS, o.ElapsedSeconds)
+	if len(rep.SLO) > 0 {
+		verdict := "PASS"
+		if !SLOPassed(rep.SLO) {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "SLO verdict: %s\n", verdict)
+		for _, r := range rep.SLO {
+			status := "PASS"
+			if !r.Pass {
+				status = "FAIL"
+			}
+			fmt.Fprintf(w, "  %s: %s (observed %s)\n", r.Objective, status, r.Observed)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO is a parsed service-level objective spec for a loadgen run:
+// comma-separated objectives, each a bound the finished report must
+// satisfy. The grammar:
+//
+//	p50=2ms            overall latency quantile bound (p50/p95/p99)
+//	point.p99=10ms     the same, scoped to one request class
+//	errors=0           at most this many error outcomes
+//	partials=3         at most this many partial outcomes
+//
+// "=" reads as "at most": p99=50ms means the observed p99 must not
+// exceed 50ms.
+type SLO struct {
+	Objectives []Objective
+}
+
+// Objective is one bound of an SLO.
+type Objective struct {
+	// Name is the objective's left-hand side as written ("p99",
+	// "point.p99", "errors").
+	Name string
+	// Class scopes a latency objective to one request class ("" =
+	// overall).
+	Class string
+	// Quantile is 0.50, 0.95, or 0.99 for latency objectives.
+	Quantile float64
+	// MaxLatency bounds the quantile for latency objectives.
+	MaxLatency time.Duration
+	// Count marks a count objective (errors/partials), bounded by
+	// MaxCount.
+	Count    bool
+	MaxCount int64
+}
+
+// SLOResult is one objective's verdict against a finished report.
+type SLOResult struct {
+	Objective string `json:"objective"`
+	Observed  string `json:"observed"`
+	Pass      bool   `json:"pass"`
+}
+
+// SLOPassed reports whether every objective passed.
+func SLOPassed(results []SLOResult) bool {
+	for _, r := range results {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+var quantileNames = map[string]float64{"p50": 0.50, "p95": 0.95, "p99": 0.99}
+
+// ParseSLO parses a spec like "p99=50ms,errors=0". An empty spec yields
+// an SLO with no objectives (which trivially passes).
+func ParseSLO(spec string) (*SLO, error) {
+	s := &SLO{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return s, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("slo: objective %q is not name=value", part)
+		}
+		name, value = strings.TrimSpace(name), strings.TrimSpace(value)
+		obj := Objective{Name: name}
+		switch name {
+		case "errors", "partials":
+			n, err := strconv.ParseInt(value, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("slo: %s wants a non-negative count, got %q", name, value)
+			}
+			obj.Count = true
+			obj.MaxCount = n
+		default:
+			qname := name
+			if class, rest, scoped := strings.Cut(name, "."); scoped {
+				obj.Class = class
+				qname = rest
+			}
+			q, ok := quantileNames[qname]
+			if !ok {
+				return nil, fmt.Errorf("slo: unknown objective %q (want p50/p95/p99, class.pXX, errors, partials)", name)
+			}
+			d, err := time.ParseDuration(value)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo: %s wants a positive duration, got %q", name, value)
+			}
+			obj.Quantile = q
+			obj.MaxLatency = d
+		}
+		s.Objectives = append(s.Objectives, obj)
+	}
+	return s, nil
+}
+
+// Evaluate checks every objective against a finished load report and
+// returns the verdicts in objective order.
+func (s *SLO) Evaluate(rep *LoadReport) []SLOResult {
+	results := make([]SLOResult, 0, len(s.Objectives))
+	for _, obj := range s.Objectives {
+		r := SLOResult{}
+		switch {
+		case obj.Count:
+			observed := int64(rep.Results.Errors)
+			if obj.Name == "partials" {
+				observed = int64(rep.Results.Partial)
+			}
+			r.Objective = fmt.Sprintf("%s <= %d", obj.Name, obj.MaxCount)
+			r.Observed = strconv.FormatInt(observed, 10)
+			r.Pass = observed <= obj.MaxCount
+		default:
+			observed := rep.quantile(obj.Class, obj.Quantile)
+			r.Objective = fmt.Sprintf("%s <= %s", obj.Name, obj.MaxLatency)
+			r.Observed = observed.String()
+			r.Pass = observed <= obj.MaxLatency
+		}
+		results = append(results, r)
+	}
+	return results
+}

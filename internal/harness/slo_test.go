@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"existdlog/internal/workload"
+)
+
+func TestParseSLO(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantErr bool
+		objs    int
+	}{
+		{"", false, 0},
+		{"p99=50ms", false, 1},
+		{"p99=50ms,errors=0", false, 2},
+		{"p50=1ms, p95=10ms, p99=50ms, errors=0, partials=2", false, 5},
+		{"point.p99=10ms,recursive.p95=1s", false, 2},
+		{"p98=50ms", true, 0},      // unknown quantile
+		{"p99=banana", true, 0},    // not a duration
+		{"p99=-5ms", true, 0},      // non-positive duration
+		{"errors=-1", true, 0},     // negative count
+		{"errors=many", true, 0},   // not a count
+		{"p99", true, 0},           // missing value
+		{"weird.q.p99=1ms", true, 0}, // nested scope
+	}
+	for _, tc := range cases {
+		s, err := ParseSLO(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseSLO(%q): expected error", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(s.Objectives) != tc.objs {
+			t.Errorf("ParseSLO(%q): %d objectives, want %d", tc.spec, len(s.Objectives), tc.objs)
+		}
+	}
+}
+
+// report builds a small fixed report for evaluation tests.
+func sloTestReport(t *testing.T) *LoadReport {
+	t.Helper()
+	tr := workload.Scenarios["steady"].Generate(5, 2*time.Second, 20)
+	samples := make([]LoadSample, len(tr.Requests))
+	for i, req := range tr.Requests {
+		outcome := "ok"
+		switch {
+		case i%17 == 3:
+			outcome = "error"
+		case i%13 == 5:
+			outcome = "partial"
+		}
+		samples[i] = LoadSample{Class: req.Class, Latency: time.Duration(i%9+1) * time.Millisecond, Outcome: outcome}
+	}
+	return BuildLoadReport(tr, samples, 2*time.Second, "testrev", time.Unix(0, 0), nil)
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	rep := sloTestReport(t)
+	slo, err := ParseSLO("p99=50ms,point.p95=50ms,errors=1000,partials=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := slo.Evaluate(rep)
+	if len(res) != 4 {
+		t.Fatalf("got %d results: %+v", len(res), res)
+	}
+	// Latencies are all under 10ms, so both latency objectives pass;
+	// errors bound is generous; partials=0 fails (the fixture has some).
+	if !res[0].Pass || !res[1].Pass || !res[2].Pass {
+		t.Errorf("expected first three objectives to pass: %+v", res)
+	}
+	if res[3].Pass {
+		t.Errorf("partials=0 should fail: %+v", res[3])
+	}
+	if SLOPassed(res) {
+		t.Error("SLOPassed should be false with a failing objective")
+	}
+
+	tight, _ := ParseSLO("p50=1ns")
+	if r := tight.Evaluate(rep); r[0].Pass {
+		t.Errorf("p50=1ns should fail: %+v", r)
+	}
+	if empty, _ := ParseSLO(""); !SLOPassed(empty.Evaluate(rep)) {
+		t.Error("empty SLO must trivially pass")
+	}
+}
+
+// TestLoadReportPartition checks the report invariants the -check verb
+// enforces, on a real built report: issued = ok + partial + errors,
+// schedule class counts partition the request count, and Validate
+// accepts the result while rejecting corrupted variants.
+func TestLoadReportPartition(t *testing.T) {
+	rep := sloTestReport(t)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("built report invalid: %v", err)
+	}
+	if rep.Results.Issued != rep.Results.OK+rep.Results.Partial+rep.Results.Errors {
+		t.Error("outcome partition broken")
+	}
+	bad := *rep
+	bad.Results.OK++
+	if err := bad.Validate(); err == nil {
+		t.Error("partition violation not caught")
+	}
+	bad = *rep
+	bad.Schema = "nope/v0"
+	if err := bad.Validate(); err == nil {
+		t.Error("schema mismatch not caught")
+	}
+}
+
+// TestLoadReportRoundTrip writes and re-reads a report through the
+// strict decoder the -check verb uses.
+func TestLoadReportRoundTrip(t *testing.T) {
+	rep := sloTestReport(t)
+	var buf bytes.Buffer
+	if err := WriteLoadJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLoadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schedule.Digest != rep.Schedule.Digest || got.Results.Issued != rep.Results.Issued {
+		t.Errorf("round trip changed the report: %+v vs %+v", got, rep)
+	}
+	if _, err := ReadLoadReport(strings.NewReader(`{"schema":"` + LoadReportSchema + `","extra":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a fixed-bucket, lock-free histogram in the Prometheus
@@ -46,6 +47,10 @@ func LatencyBuckets() []float64 {
 func SizeBuckets() []float64 {
 	return []float64{0, 1, 10, 100, 1000, 10000, 100000, 1e6}
 }
+
+// ObserveDuration records one duration in seconds — the convention of
+// every latency histogram in the registry and the loadgen harness.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
@@ -154,3 +159,9 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 
 // Quantile estimates the q-quantile of the live histogram.
 func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// QuantileDuration is Quantile for histograms observing seconds,
+// rendered as a duration rounded to the microsecond.
+func (s HistogramSnapshot) QuantileDuration(q float64) time.Duration {
+	return time.Duration(s.Quantile(q) * float64(time.Second)).Round(time.Microsecond)
+}

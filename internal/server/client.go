@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the minimal HTTP client for a served instance, shared by
+// the loadgen verb and the repl's :add/:retract. It speaks the same
+// wire format the handlers above decode, and it reuses the server's
+// cancellation plumbing from the other side: every call threads its
+// context into the request, so cancelling the context tears the
+// connection down and the server aborts the evaluation into a sound
+// partial result.
+type Client struct {
+	// Base is the served instance's base URL, e.g. "http://127.0.0.1:8347".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL (trailing slashes
+// trimmed).
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// QueryResult is the client's view of one finished /query call.
+type QueryResult struct {
+	Status         int     // HTTP status
+	Count          int     // answers returned
+	Partial        bool    // sound partial result (timeout, cancel, limit)
+	Incomplete     string  // what stopped a partial evaluation
+	ProvedEmpty    bool    // the optimizer proved the answer empty
+	Cached         bool    // compiled-program cache hit
+	ElapsedSeconds float64 // server-side evaluation wall time
+	Err            string  // server error message on a non-200 status
+}
+
+// MutateResult is the client's view of one finished /update or /retract
+// call. Seq is the first store version that includes the write.
+type MutateResult struct {
+	Status int
+	Facts  int
+	Seq    uint64
+	Err    string
+}
+
+// post sends one JSON body and decodes the response into out, returning
+// the status and the server's error message (if any). A transport-level
+// failure (connection refused, context cancelled mid-flight) comes back
+// as the error; HTTP-level failures land in the message.
+func (c *Client) post(ctx context.Context, path string, body, out any) (int, string, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return 0, "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return resp.StatusCode, e.Error, nil
+		}
+		return resp.StatusCode, strings.TrimSpace(string(raw)), nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return resp.StatusCode, "", fmt.Errorf("decoding %s response: %w", path, err)
+	}
+	return resp.StatusCode, "", nil
+}
+
+// Query evaluates one goal. timeout > 0 is forwarded as the request's
+// timeout_ms, bounding the server-side evaluation.
+func (c *Client) Query(ctx context.Context, goal string, timeout time.Duration) (QueryResult, error) {
+	req := queryRequest{Goal: goal}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+	var resp queryResponse
+	status, msg, err := c.post(ctx, "/query", req, &resp)
+	if err != nil {
+		return QueryResult{Status: status}, err
+	}
+	if msg != "" {
+		return QueryResult{Status: status, Err: msg}, nil
+	}
+	return QueryResult{
+		Status:         status,
+		Count:          resp.Count,
+		Partial:        resp.Partial,
+		Incomplete:     resp.Incomplete,
+		ProvedEmpty:    resp.ProvedEmpty,
+		Cached:         resp.Cached,
+		ElapsedSeconds: resp.ElapsedSeconds,
+	}, nil
+}
+
+// Mutate posts ground facts to /update or /retract (op names the
+// endpoint). The call returns once the write is durable and applied.
+func (c *Client) Mutate(ctx context.Context, op string, facts []string, timeout time.Duration) (MutateResult, error) {
+	if op != "update" && op != "retract" {
+		return MutateResult{}, fmt.Errorf("client: unknown mutation op %q", op)
+	}
+	req := mutationRequest{Facts: facts}
+	if timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
+	}
+	var resp mutationResponse
+	status, msg, err := c.post(ctx, "/"+op, req, &resp)
+	if err != nil {
+		return MutateResult{Status: status}, err
+	}
+	if msg != "" {
+		return MutateResult{Status: status, Err: msg}, nil
+	}
+	return MutateResult{Status: status, Facts: resp.Facts, Seq: resp.Seq}, nil
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceRecordReplayRoundTrip records a generated workload to a file
+// and replays it: the replayed request sequence — class, goal, mutation
+// payloads, send offsets — must be identical to what was generated, and
+// the schedule digest must survive the trip.
+func TestTraceRecordReplayRoundTrip(t *testing.T) {
+	for name, sc := range Scenarios {
+		t.Run(name, func(t *testing.T) {
+			orig := sc.Generate(99, 5*time.Second, 0)
+			path := filepath.Join(t.TempDir(), "trace.json")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteTrace(f, orig); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			g, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replayed, err := ReadTrace(g)
+			g.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(orig, replayed) {
+				t.Fatal("replayed trace differs from the recorded one")
+			}
+			for i := range orig.Requests {
+				a, b := orig.Requests[i], replayed.Requests[i]
+				if a.Class != b.Class || a.Goal != b.Goal || a.Offset != b.Offset || !reflect.DeepEqual(a.Facts, b.Facts) {
+					t.Fatalf("request %d changed in replay: %+v vs %+v", i, a, b)
+				}
+			}
+			if orig.Digest() != replayed.Digest() {
+				t.Fatal("digest changed across record/replay")
+			}
+		})
+	}
+}
+
+// TestReadTraceRejects checks the replay path refuses foreign schemas
+// and unknown fields instead of silently dropping workload.
+func TestReadTraceRejects(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader(`{"schema":"someone-elses/v9","requests":[]}`)); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"schema":"` + TraceSchema + `","bogus_field":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, Scenarios["steady"].Generate(1, time.Second, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrace(&buf); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+// Traffic generation for the loadgen verb: seeded open-loop arrival
+// processes (Poisson within each rate period), cohort request mixes over
+// the scenario's goal classes, deterministic mutation slots, and a
+// record/replay trace format.
+//
+// Everything here is pure with respect to time: a Trace is a function of
+// (scenario, seed, periods) alone — no wall clock, no global state — so
+// two generations with the same inputs are byte-identical, which is what
+// lets the loadgen harness itself be tested deterministically. The
+// runner that *executes* a trace (cmd/existdlog/loadgen.go) is the only
+// place a clock appears, and it takes one through the Clock interface.
+package workload
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// Class names a request cohort in a generated workload. Query classes
+// carry a goal; mutation classes carry facts for /update or /retract.
+type Class string
+
+const (
+	// ClassPoint is a bound-first-argument query (tc(k,X)): the
+	// magic-sets ∘ projection story's target shape.
+	ClassPoint Class = "point"
+	// ClassRecursive is a fully free recursive query (tc(X,Y)): a full
+	// fixpoint per request.
+	ClassRecursive Class = "recursive"
+	// ClassBoolean is a fully bound query (tc(i,j)): the boolean-cut
+	// shape, answerable with an early cut.
+	ClassBoolean Class = "boolean"
+	// ClassUpdate posts new base facts to /update.
+	ClassUpdate Class = "update"
+	// ClassRetract removes base facts via /retract.
+	ClassRetract Class = "retract"
+)
+
+// Classes lists every class in report order.
+var Classes = []Class{ClassPoint, ClassRecursive, ClassBoolean, ClassUpdate, ClassRetract}
+
+// Mutation reports whether the class drives a write endpoint.
+func (c Class) Mutation() bool { return c == ClassUpdate || c == ClassRetract }
+
+// Request is one scheduled arrival: send at Offset from the run start,
+// regardless of how earlier requests are faring — the loop is open, the
+// schedule is the load.
+type Request struct {
+	Offset time.Duration `json:"offset_ns"`
+	Class  Class         `json:"class"`
+	// Goal is the query atom for the query classes, e.g. "tc(17,X)".
+	Goal string `json:"goal,omitempty"`
+	// Facts are the ground facts for the mutation classes.
+	Facts []string `json:"facts,omitempty"`
+}
+
+// Period is one segment of a (possibly multi-period) arrival process:
+// requests arrive as a Poisson process with the given rate for the given
+// duration. Rate switching lands exactly on period boundaries — an
+// interarrival gap that would cross a boundary is discarded, and the
+// next period's process starts fresh at the boundary.
+type Period struct {
+	Rate    float64       `json:"rate_rps"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// Arrivals generates the offsets of a seeded multi-period Poisson
+// process: within each period, interarrival gaps are Exp(rate); the gap
+// that crosses the period's end is dropped and the clock jumps to the
+// boundary. A zero or negative rate yields a silent period.
+func Arrivals(rng *rand.Rand, periods []Period) []time.Duration {
+	var out []time.Duration
+	var elapsed time.Duration
+	for _, p := range periods {
+		end := elapsed + p.Duration
+		if p.Rate > 0 {
+			t := elapsed
+			for {
+				gap := time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+				t += gap
+				if t >= end {
+					break
+				}
+				out = append(out, t)
+			}
+		}
+		elapsed = end
+	}
+	return out
+}
+
+// Mix weighs the request cohorts. The three query weights are relative
+// among reads; MutationRatio is the absolute fraction of all requests
+// that are writes (alternating update/retract slots).
+type Mix struct {
+	Point         float64 `json:"point"`
+	Recursive     float64 `json:"recursive"`
+	Boolean       float64 `json:"boolean"`
+	MutationRatio float64 `json:"mutation_ratio"`
+}
+
+// TraceSchema versions the record/replay file format.
+const TraceSchema = "existdlog-trace/v1"
+
+// Trace is a fully materialized workload: the exact request sequence a
+// run will issue. Recorded traces replay bit-identically — the runner
+// consumes Requests as-is, so (class, goal, mutation payloads, send
+// offsets) survive a record/replay round trip unchanged.
+type Trace struct {
+	Schema   string    `json:"schema"`
+	Scenario string    `json:"scenario"`
+	Seed     int64     `json:"seed"`
+	Periods  []Period  `json:"periods"`
+	Requests []Request `json:"requests"`
+}
+
+// Duration is the schedule's total span: the sum of the period lengths.
+func (t *Trace) Duration() time.Duration {
+	var d time.Duration
+	for _, p := range t.Periods {
+		d += p.Duration
+	}
+	return d
+}
+
+// Digest fingerprints the schedule — every request's offset, class,
+// goal, and mutation payload feed an FNV-64a hash — so two reports can
+// assert schedule identity without embedding thousands of offsets.
+func (t *Trace) Digest() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, r := range t.Requests {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.Offset))
+		h.Write(buf[:])
+		io.WriteString(h, string(r.Class))
+		io.WriteString(h, "\x00")
+		io.WriteString(h, r.Goal)
+		for _, f := range r.Facts {
+			io.WriteString(h, "\x00")
+			io.WriteString(h, f)
+		}
+		io.WriteString(h, "\x01")
+	}
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+// WriteTrace records a trace as indented JSON (the -record format).
+func WriteTrace(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace loads a recorded trace, rejecting unknown fields and
+// foreign schemas so a replay never silently drops part of a workload.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var t Trace
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if t.Schema != TraceSchema {
+		return nil, fmt.Errorf("workload: trace schema %q, want %q", t.Schema, TraceSchema)
+	}
+	return &t, nil
+}
+
+// Clock abstracts the runner's view of time so the loadgen harness can
+// be driven by tests. Generation never touches it — only execution does.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+func (RealClock) Now() time.Time        { return time.Now() }
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPoissonInterarrivalStats checks the seeded Poisson process against
+// its theory: for rate λ the interarrival gaps are Exp(λ) with mean 1/λ
+// and variance 1/λ², and the count over T concentrates around λT. The
+// generator is seeded, so these are exact regression checks with
+// statistical tolerances, not flaky samples — no wall clock anywhere.
+func TestPoissonInterarrivalStats(t *testing.T) {
+	cases := []struct {
+		name string
+		rate float64
+		dur  time.Duration
+		seed int64
+	}{
+		{"rate100", 100, 200 * time.Second, 1},
+		{"rate1000", 1000, 50 * time.Second, 2},
+		{"rate7", 7, 2000 * time.Second, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			offsets := Arrivals(rng, []Period{{Rate: tc.rate, Duration: tc.dur}})
+
+			expected := tc.rate * tc.dur.Seconds()
+			n := float64(len(offsets))
+			// Count: within 4 standard deviations (σ = sqrt(λT)).
+			if sigma := math.Sqrt(expected); math.Abs(n-expected) > 4*sigma {
+				t.Fatalf("arrival count %v outside %v ± 4*%v", n, expected, sigma)
+			}
+
+			// Interarrival mean and variance vs 1/λ and 1/λ².
+			var gaps []float64
+			prev := 0.0
+			for _, off := range offsets {
+				s := off.Seconds()
+				gaps = append(gaps, s-prev)
+				prev = s
+			}
+			mean := 0.0
+			for _, g := range gaps {
+				mean += g
+			}
+			mean /= n
+			variance := 0.0
+			for _, g := range gaps {
+				variance += (g - mean) * (g - mean)
+			}
+			variance /= n - 1
+			wantMean := 1 / tc.rate
+			if math.Abs(mean-wantMean)/wantMean > 0.05 {
+				t.Errorf("interarrival mean %.6g, want %.6g within 5%%", mean, wantMean)
+			}
+			wantVar := 1 / (tc.rate * tc.rate)
+			if math.Abs(variance-wantVar)/wantVar > 0.10 {
+				t.Errorf("interarrival variance %.6g, want %.6g within 10%%", variance, wantVar)
+			}
+
+			// Offsets are strictly within the period and non-decreasing.
+			for i, off := range offsets {
+				if off < 0 || off >= tc.dur {
+					t.Fatalf("offset %d = %v outside [0, %v)", i, off, tc.dur)
+				}
+				if i > 0 && off < offsets[i-1] {
+					t.Fatalf("offsets not sorted at %d: %v < %v", i, off, offsets[i-1])
+				}
+			}
+		})
+	}
+}
+
+// TestMultiPeriodBoundaries checks that rate switching lands exactly on
+// period boundaries: a silent middle period admits no arrivals, each
+// period's arrivals stay inside it, and each period's count matches its
+// own rate (the burst period is visibly denser).
+func TestMultiPeriodBoundaries(t *testing.T) {
+	periods := []Period{
+		{Rate: 100, Duration: 10 * time.Second},
+		{Rate: 0, Duration: 5 * time.Second},
+		{Rate: 400, Duration: 10 * time.Second},
+	}
+	rng := rand.New(rand.NewSource(7))
+	offsets := Arrivals(rng, periods)
+
+	var n1, n2, n3 int
+	for _, off := range offsets {
+		switch {
+		case off < 10*time.Second:
+			n1++
+		case off < 15*time.Second:
+			n2++
+		case off < 25*time.Second:
+			n3++
+		default:
+			t.Fatalf("offset %v beyond the last period", off)
+		}
+	}
+	if n2 != 0 {
+		t.Errorf("silent period admitted %d arrivals", n2)
+	}
+	// Per-period counts within 4σ of their own rate×duration.
+	if want, sigma := 1000.0, math.Sqrt(1000.0); math.Abs(float64(n1)-want) > 4*sigma {
+		t.Errorf("period 1 count %d, want %v ± 4σ", n1, want)
+	}
+	if want, sigma := 4000.0, math.Sqrt(4000.0); math.Abs(float64(n3)-want) > 4*sigma {
+		t.Errorf("period 3 count %d, want %v ± 4σ", n3, want)
+	}
+}
+
+// TestScheduleDeterminism: identical seed ⇒ byte-identical schedule,
+// for every committed scenario; a different seed moves the digest.
+func TestScheduleDeterminism(t *testing.T) {
+	for name, sc := range Scenarios {
+		t.Run(name, func(t *testing.T) {
+			a := sc.Generate(42, 3*time.Second, 0)
+			b := sc.Generate(42, 3*time.Second, 0)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("same seed generated different traces")
+			}
+			var bufA, bufB bytes.Buffer
+			if err := WriteTrace(&bufA, a); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteTrace(&bufB, b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bufA.Bytes(), bufB.Bytes()) {
+				t.Fatal("same seed serialized to different bytes")
+			}
+			if a.Digest() != b.Digest() {
+				t.Fatal("same seed produced different digests")
+			}
+			c := sc.Generate(43, 3*time.Second, 0)
+			if len(c.Requests) == len(a.Requests) && reflect.DeepEqual(a.Requests, c.Requests) {
+				t.Fatal("different seeds generated identical schedules")
+			}
+			if a.Digest() == c.Digest() {
+				t.Fatal("different seeds share a digest")
+			}
+		})
+	}
+}
+
+// TestGenerateClasses checks the cohort draw: every request carries the
+// payload its class requires, mutation slots alternate update/retract
+// with matching facts, and the mixed scenario's mutation fraction tracks
+// its ratio.
+func TestGenerateClasses(t *testing.T) {
+	sc := Scenarios["mixed"]
+	tr := sc.Generate(1, 30*time.Second, 50)
+	counts := map[Class]int{}
+	var lastMutation Class
+	for i, r := range tr.Requests {
+		counts[r.Class]++
+		switch r.Class {
+		case ClassPoint, ClassBoolean, ClassRecursive:
+			if r.Goal == "" || len(r.Facts) != 0 {
+				t.Fatalf("request %d (%s): goal %q facts %v", i, r.Class, r.Goal, r.Facts)
+			}
+			if !strings.HasPrefix(r.Goal, "tc(") {
+				t.Fatalf("request %d: goal %q is not a tc goal", i, r.Goal)
+			}
+		case ClassUpdate, ClassRetract:
+			if r.Goal != "" || len(r.Facts) != 1 {
+				t.Fatalf("request %d (%s): goal %q facts %v", i, r.Class, r.Goal, r.Facts)
+			}
+			if lastMutation == r.Class {
+				t.Fatalf("request %d: two consecutive %s mutation slots (want alternation)", i, r.Class)
+			}
+			lastMutation = r.Class
+		default:
+			t.Fatalf("request %d: unknown class %q", i, r.Class)
+		}
+	}
+	total := len(tr.Requests)
+	mutations := counts[ClassUpdate] + counts[ClassRetract]
+	frac := float64(mutations) / float64(total)
+	if math.Abs(frac-sc.Mix.MutationRatio) > 0.05 {
+		t.Errorf("mutation fraction %.3f, want ~%.2f", frac, sc.Mix.MutationRatio)
+	}
+	if counts[ClassPoint] == 0 || counts[ClassRecursive] == 0 || counts[ClassBoolean] == 0 {
+		t.Errorf("a read cohort is empty: %v", counts)
+	}
+}
+
+// TestEffectivePeriods checks -duration cycling/truncation and the
+// -rate override.
+func TestEffectivePeriods(t *testing.T) {
+	sc := Scenarios["mixed"] // native: 4s + 2s + 4s
+	got := sc.EffectivePeriods(13*time.Second, 0)
+	var total time.Duration
+	for _, p := range got {
+		total += p.Duration
+	}
+	if total != 13*time.Second {
+		t.Fatalf("effective periods span %v, want 13s", total)
+	}
+	// 4+2+4 cycles into 4,2,4,3(truncated from 4).
+	if len(got) != 4 || got[3].Duration != 3*time.Second {
+		t.Fatalf("unexpected cycling: %+v", got)
+	}
+	if got[1].Rate != 80 {
+		t.Fatalf("burst period lost its rate: %+v", got[1])
+	}
+	flat := sc.EffectivePeriods(6*time.Second, 25)
+	for _, p := range flat {
+		if p.Rate != 25 {
+			t.Fatalf("rate override not applied: %+v", flat)
+		}
+	}
+}
+
+// TestScenarioProgram sanity-checks the served program: rules, goal,
+// and one chain edge per node.
+func TestScenarioProgram(t *testing.T) {
+	sc := Scenarios["steady"]
+	prog := sc.Program()
+	for _, want := range []string{
+		"tc(X,Y) :- e(X,Y).",
+		"tc(X,Y) :- e(X,Z), tc(Z,Y).",
+		"?- tc(X,Y).",
+		"e(0,1).",
+	} {
+		if !strings.Contains(prog, want) {
+			t.Errorf("program missing %q", want)
+		}
+	}
+	if got := strings.Count(prog, "\ne("); got != sc.Nodes {
+		t.Errorf("program has %d edge facts, want %d", got, sc.Nodes)
+	}
+}
