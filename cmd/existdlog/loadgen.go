@@ -181,13 +181,19 @@ func runTrace(ctx context.Context, client *server.Client, tr *workload.Trace, cl
 			var outcome string
 			if req.Class.Mutation() {
 				res, err := client.Mutate(ctx, string(req.Class), req.Facts, reqTimeout)
-				outcome = "ok"
-				if err != nil || res.Status != http.StatusOK {
+				switch {
+				case err == nil && rejectedStatus(res.Status):
+					outcome = "rejected"
+				case err != nil || res.Status != http.StatusOK:
 					outcome = "error"
+				default:
+					outcome = "ok"
 				}
 			} else {
 				res, err := client.Query(ctx, req.Goal, reqTimeout)
 				switch {
+				case err == nil && rejectedStatus(res.Status):
+					outcome = "rejected"
 				case err != nil || res.Status != http.StatusOK:
 					outcome = "error"
 				case res.Partial:
@@ -221,6 +227,15 @@ func waitUntil(ctx context.Context, clock workload.Clock, start time.Time, offse
 		}
 		clock.Sleep(wait)
 	}
+}
+
+// rejectedStatus reports whether a response means the server refused
+// the request before evaluation — admission control (429 queue full,
+// 503 queue timeout/shed), draining, or degraded mode. These count as
+// "rejected", not "error": under deliberate overload a rejection is
+// the server doing its job.
+func rejectedStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
 }
 
 // probeServer checks the target is alive before the schedule starts, so

@@ -36,6 +36,8 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 10*time.Second, "default per-query evaluation timeout (0 = unbounded)")
 	maxTimeout := fs.Duration("max-timeout", time.Minute, "cap on client-requested query timeouts (0 = no cap)")
 	maxConcurrent := fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "concurrently evaluating queries; excess requests queue")
+	maxQueue := fs.Int("max-queue", 0, "per-class admission queue capacity; overflow is rejected with 429 (0 = 16x max-concurrent)")
+	queueTimeout := fs.Duration("queue-timeout", time.Second, "max time a request may wait queued for an evaluation slot before 503")
 	maxFacts := fs.Int("max-facts", 0, "per-query derived fact limit (0 = unlimited)")
 	drainGrace := fs.Duration("drain", 5*time.Second, "shutdown grace before in-flight queries are aborted")
 	walDir := fs.String("wal", "", "directory for the durable write-ahead log and checkpoints (empty = mutations are memory-only)")
@@ -59,6 +61,8 @@ func cmdServe(args []string) error {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *maxQueue,
+		QueueTimeout:   *queueTimeout,
 		MaxFacts:       *maxFacts,
 		Logger:         logger,
 		WALDir:         *walDir,

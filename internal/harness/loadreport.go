@@ -20,8 +20,10 @@ const LoadReportSchema = "existdlog-loadgen/v1"
 type LoadSample struct {
 	Class   workload.Class
 	Latency time.Duration
-	// Outcome is "ok", "partial", "error", or "skipped" (scheduled but
-	// never issued because the run was cancelled).
+	// Outcome is "ok", "partial", "error", "rejected" (the server
+	// refused it before evaluation: 429/503 from admission control,
+	// draining, or degraded mode), or "skipped" (scheduled but never
+	// issued because the run was cancelled).
 	Outcome string
 }
 
@@ -60,27 +62,35 @@ type LatencyQuantiles struct {
 }
 
 // ClassResult is one class's measured outcome counts and latency.
+// Rejected requests are excluded from the latency quantiles: a 429
+// returned in microseconds says nothing about evaluation latency, and
+// folding it in would make an overloaded server look fast.
 type ClassResult struct {
-	Class   workload.Class `json:"class"`
-	Issued  int            `json:"issued"`
-	OK      int            `json:"ok"`
-	Partial int            `json:"partial"`
-	Errors  int            `json:"errors"`
+	Class    workload.Class `json:"class"`
+	Issued   int            `json:"issued"`
+	OK       int            `json:"ok"`
+	Partial  int            `json:"partial"`
+	Errors   int            `json:"errors"`
+	Rejected int            `json:"rejected,omitempty"`
 	LatencyQuantiles
 }
 
 // LoadResults are the run's measured outcomes. Issued always equals
-// OK + Partial + Errors — the runner classifies every issued request
-// into exactly one bucket; Skipped counts scheduled requests a
-// cancelled run never sent.
+// OK + Partial + Errors + Rejected — the runner classifies every
+// issued request into exactly one bucket; Skipped counts scheduled
+// requests a cancelled run never sent. GoodputRPS is the rate of OK
+// responses alone: the overload scenario's defended metric, since
+// under saturation throughput of *accepted* work is what matters.
 type LoadResults struct {
 	Issued         int              `json:"issued"`
 	OK             int              `json:"ok"`
 	Partial        int              `json:"partial"`
 	Errors         int              `json:"errors"`
+	Rejected       int              `json:"rejected,omitempty"`
 	Skipped        int              `json:"skipped"`
 	ElapsedSeconds float64          `json:"elapsed_seconds"`
 	ThroughputRPS  float64          `json:"throughput_rps"`
+	GoodputRPS     float64          `json:"goodput_rps,omitempty"`
 	Overall        LatencyQuantiles `json:"overall"`
 	Classes        []ClassResult    `json:"classes"`
 }
@@ -169,6 +179,14 @@ func BuildLoadReport(tr *workload.Trace, samples []LoadSample, elapsed time.Dura
 		case "skipped":
 			rep.Results.Skipped++
 			continue
+		case "rejected":
+			// Counted as issued, excluded from latency: the histograms
+			// describe served requests only.
+			cr.Rejected++
+			rep.Results.Rejected++
+			cr.Issued++
+			rep.Results.Issued++
+			continue
 		case "partial":
 			cr.Partial++
 			rep.Results.Partial++
@@ -205,6 +223,7 @@ func BuildLoadReport(tr *workload.Trace, samples []LoadSample, elapsed time.Dura
 	rep.Results.ElapsedSeconds = elapsed.Seconds()
 	if elapsed > 0 {
 		rep.Results.ThroughputRPS = float64(rep.Results.Issued) / elapsed.Seconds()
+		rep.Results.GoodputRPS = float64(rep.Results.OK) / elapsed.Seconds()
 	}
 	if slo != nil {
 		rep.SLO = slo.Evaluate(rep)
@@ -233,15 +252,15 @@ func (r *LoadReport) Validate() error {
 	if sched != r.Schedule.Requests {
 		return fmt.Errorf("loadreport: class schedule counts sum to %d, want %d", sched, r.Schedule.Requests)
 	}
-	if got := r.Results.OK + r.Results.Partial + r.Results.Errors; got != r.Results.Issued {
-		return fmt.Errorf("loadreport: ok+partial+errors = %d does not partition issued = %d", got, r.Results.Issued)
+	if got := r.Results.OK + r.Results.Partial + r.Results.Errors + r.Results.Rejected; got != r.Results.Issued {
+		return fmt.Errorf("loadreport: ok+partial+errors+rejected = %d does not partition issued = %d", got, r.Results.Issued)
 	}
 	if r.Results.Issued+r.Results.Skipped > r.Schedule.Requests {
 		return fmt.Errorf("loadreport: issued %d + skipped %d exceeds scheduled %d",
 			r.Results.Issued, r.Results.Skipped, r.Schedule.Requests)
 	}
 	for _, c := range r.Results.Classes {
-		if got := c.OK + c.Partial + c.Errors; got != c.Issued {
+		if got := c.OK + c.Partial + c.Errors + c.Rejected; got != c.Issued {
 			return fmt.Errorf("loadreport: class %s outcomes %d do not partition issued %d", c.Class, got, c.Issued)
 		}
 	}
@@ -284,25 +303,28 @@ func WriteLoadTable(w io.Writer, rep *LoadReport) {
 	}
 	fmt.Fprintf(w, "\nschedule: %d requests over %.4gs, digest %s\n",
 		rep.Schedule.Requests, rep.Schedule.DurationSeconds, rep.Schedule.Digest)
-	fmt.Fprintf(w, "%-10s %6s %6s %6s %7s %6s %10s %10s %10s\n",
-		"class", "sched", "issued", "ok", "partial", "error", "p50", "p95", "p99")
+	fmt.Fprintf(w, "%-10s %6s %6s %6s %7s %6s %8s %10s %10s %10s\n",
+		"class", "sched", "issued", "ok", "partial", "error", "rejected", "p50", "p95", "p99")
 	schedCount := map[workload.Class]int{}
 	for _, c := range rep.Schedule.Classes {
 		schedCount[c.Class] = c.Count
 	}
 	for _, c := range rep.Results.Classes {
-		fmt.Fprintf(w, "%-10s %6d %6d %6d %7d %6d %10s %10s %10s\n",
-			c.Class, schedCount[c.Class], c.Issued, c.OK, c.Partial, c.Errors,
+		fmt.Fprintf(w, "%-10s %6d %6d %6d %7d %6d %8d %10s %10s %10s\n",
+			c.Class, schedCount[c.Class], c.Issued, c.OK, c.Partial, c.Errors, c.Rejected,
 			c.P50, c.P95, c.P99)
 	}
 	o := rep.Results
-	fmt.Fprintf(w, "%-10s %6d %6d %6d %7d %6d %10s %10s %10s\n",
-		"total", rep.Schedule.Requests, o.Issued, o.OK, o.Partial, o.Errors,
+	fmt.Fprintf(w, "%-10s %6d %6d %6d %7d %6d %8d %10s %10s %10s\n",
+		"total", rep.Schedule.Requests, o.Issued, o.OK, o.Partial, o.Errors, o.Rejected,
 		o.Overall.P50, o.Overall.P95, o.Overall.P99)
 	if o.Skipped > 0 {
 		fmt.Fprintf(w, "skipped: %d scheduled requests were never issued (run cancelled)\n", o.Skipped)
 	}
 	fmt.Fprintf(w, "throughput: %.4g rps issued over %.4gs\n", o.ThroughputRPS, o.ElapsedSeconds)
+	if o.Rejected > 0 {
+		fmt.Fprintf(w, "goodput: %.4g rps ok (%d rejected before evaluation)\n", o.GoodputRPS, o.Rejected)
+	}
 	if len(rep.SLO) > 0 {
 		verdict := "PASS"
 		if !SLOPassed(rep.SLO) {

@@ -15,9 +15,12 @@ import (
 //	point.p99=10ms     the same, scoped to one request class
 //	errors=0           at most this many error outcomes
 //	partials=3         at most this many partial outcomes
+//	goodput=20         at least this many OK responses per second
 //
-// "=" reads as "at most": p99=50ms means the observed p99 must not
-// exceed 50ms.
+// "=" reads as "at most" (p99=50ms means the observed p99 must not
+// exceed 50ms) — except goodput, which is a floor: the overload
+// scenario defends a minimum rate of successfully served requests
+// while everything beyond it is rejected.
 type SLO struct {
 	Objectives []Objective
 }
@@ -38,6 +41,10 @@ type Objective struct {
 	// MaxCount.
 	Count    bool
 	MaxCount int64
+	// Goodput marks a goodput-floor objective: the run's OK rate must
+	// be at least MinGoodput responses per second.
+	Goodput    bool
+	MinGoodput float64
 }
 
 // SLOResult is one objective's verdict against a finished report.
@@ -83,6 +90,13 @@ func ParseSLO(spec string) (*SLO, error) {
 			}
 			obj.Count = true
 			obj.MaxCount = n
+		case "goodput":
+			f, err := strconv.ParseFloat(value, 64)
+			if err != nil || f < 0 {
+				return nil, fmt.Errorf("slo: goodput wants a non-negative rate (rps), got %q", value)
+			}
+			obj.Goodput = true
+			obj.MinGoodput = f
 		default:
 			qname := name
 			if class, rest, scoped := strings.Cut(name, "."); scoped {
@@ -91,7 +105,7 @@ func ParseSLO(spec string) (*SLO, error) {
 			}
 			q, ok := quantileNames[qname]
 			if !ok {
-				return nil, fmt.Errorf("slo: unknown objective %q (want p50/p95/p99, class.pXX, errors, partials)", name)
+				return nil, fmt.Errorf("slo: unknown objective %q (want p50/p95/p99, class.pXX, errors, partials, goodput)", name)
 			}
 			d, err := time.ParseDuration(value)
 			if err != nil || d <= 0 {
@@ -112,6 +126,11 @@ func (s *SLO) Evaluate(rep *LoadReport) []SLOResult {
 	for _, obj := range s.Objectives {
 		r := SLOResult{}
 		switch {
+		case obj.Goodput:
+			observed := rep.Results.GoodputRPS
+			r.Objective = fmt.Sprintf("goodput >= %g rps", obj.MinGoodput)
+			r.Observed = fmt.Sprintf("%.4g rps", observed)
+			r.Pass = observed >= obj.MinGoodput
 		case obj.Count:
 			observed := int64(rep.Results.Errors)
 			if obj.Name == "partials" {

@@ -64,6 +64,21 @@ type Registry struct {
 	inFlight   atomic.Int64
 	queueDepth atomic.Int64
 
+	// Admission-control state (the serve overload path): requests
+	// refused before evaluation, by reason and class; queued requests
+	// shed at dequeue because their deadline had already expired; and
+	// the degraded read-only gauge the WAL failure path flips.
+	rejected [len(rejectReasonsArr) * len(rejectClassesArr)]atomic.Int64
+	shed     atomic.Int64
+	degraded atomic.Int64
+
+	// Client-side resilience state (the retrying server.Client reports
+	// here when given a registry): retried attempts and the circuit
+	// breaker's current state and lifetime trips to open.
+	retries      atomic.Int64
+	breakerState atomic.Int64
+	breakerTrips atomic.Int64
+
 	factsDerived  atomic.Int64
 	derivations   atomic.Int64
 	duplicateHits atomic.Int64
@@ -140,6 +155,65 @@ func (r *Registry) QueueLeave() { r.queueDepth.Add(-1) }
 // CacheHit / CacheMiss count optimized-program cache lookups.
 func (r *Registry) CacheHit()  { r.cacheHits.Add(1) }
 func (r *Registry) CacheMiss() { r.cacheMisses.Add(1) }
+
+// rejectReasonsArr and rejectClassesArr index the rejected array; both
+// are sorted so the exposition pre-declares every series at zero.
+// Reasons: "degraded" (read-only mode refuses mutations), "draining"
+// (shutdown refuses everything), "queue_full" (the class's admission
+// queue is at capacity), "queue_timeout" (the request waited out the
+// queue bound without getting a slot).
+var (
+	rejectReasonsArr = [...]string{"degraded", "draining", "queue_full", "queue_timeout"}
+	rejectClassesArr = [...]string{"mutation", "query"}
+)
+
+func rejectIndex(reason, class string) int {
+	ri, ci := 0, 0
+	for i, r := range rejectReasonsArr {
+		if r == reason {
+			ri = i
+		}
+	}
+	for i, c := range rejectClassesArr {
+		if c == class {
+			ci = i
+		}
+	}
+	return ci*len(rejectReasonsArr) + ri
+}
+
+// Rejected counts one request refused before evaluation, by reason
+// ("degraded", "draining", "queue_full", "queue_timeout") and class
+// ("query" or "mutation"). Unknown labels fold into the first series
+// rather than allocating new ones — the label sets are closed.
+func (r *Registry) Rejected(reason, class string) {
+	r.rejected[rejectIndex(reason, class)].Add(1)
+}
+
+// Shed counts one queued request discarded at dequeue because its
+// deadline expired while it waited — it never started evaluating.
+func (r *Registry) Shed() { r.shed.Add(1) }
+
+// SetDegraded publishes the store's degraded read-only state (1 while
+// mutations are refused because the WAL is failing, 0 otherwise).
+func (r *Registry) SetDegraded(on bool) {
+	var v int64
+	if on {
+		v = 1
+	}
+	r.degraded.Store(v)
+}
+
+// RetryObserved counts one retried client attempt (the first attempt of
+// a call is not a retry).
+func (r *Registry) RetryObserved() { r.retries.Add(1) }
+
+// SetBreakerState publishes the client circuit breaker's state:
+// 0 closed, 1 half-open, 2 open.
+func (r *Registry) SetBreakerState(state int64) { r.breakerState.Store(state) }
+
+// BreakerTripped counts one breaker transition to open.
+func (r *Registry) BreakerTripped() { r.breakerTrips.Add(1) }
 
 // mutationOps and mutationOutcomes index the mutations array; both are
 // sorted so the exposition pre-declares every series at zero.
@@ -263,6 +337,17 @@ type Snapshot struct {
 	InFlight   int64
 	QueueDepth int64
 
+	// Rejected maps "reason/class" (e.g. "queue_full/query") to its
+	// counter; Shed counts expired-in-queue discards; Degraded is the
+	// read-only gauge. Retries/BreakerState/BreakerTrips mirror the
+	// resilient client when one reports into this registry.
+	Rejected     map[string]int64
+	Shed         int64
+	Degraded     int64
+	Retries      int64
+	BreakerState int64
+	BreakerTrips int64
+
 	FactsDerived  int64
 	Derivations   int64
 	DuplicateHits int64
@@ -312,6 +397,12 @@ func (r *Registry) Snapshot() *Snapshot {
 		Queries:           make(map[Outcome]int64, len(outcomes)),
 		InFlight:          r.inFlight.Load(),
 		QueueDepth:        r.queueDepth.Load(),
+		Rejected:          make(map[string]int64, len(r.rejected)),
+		Shed:              r.shed.Load(),
+		Degraded:          r.degraded.Load(),
+		Retries:           r.retries.Load(),
+		BreakerState:      r.breakerState.Load(),
+		BreakerTrips:      r.breakerTrips.Load(),
 		FactsDerived:      r.factsDerived.Load(),
 		Derivations:       r.derivations.Load(),
 		DuplicateHits:     r.duplicateHits.Load(),
@@ -338,6 +429,11 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	for i, o := range outcomes {
 		s.Queries[o] = r.queries[i].Load()
+	}
+	for ci, class := range rejectClassesArr {
+		for ri, reason := range rejectReasonsArr {
+			s.Rejected[reason+"/"+class] = r.rejected[ci*len(rejectReasonsArr)+ri].Load()
+		}
 	}
 	for oi, op := range mutationOps {
 		for ri, res := range mutationOutcomes {

@@ -88,6 +88,18 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	p.header("existdlog_queue_depth", "Requests waiting for an evaluation slot.", "gauge")
 	p.sample("existdlog_queue_depth", "", s.QueueDepth)
 
+	p.header("existdlog_rejected_total", "Requests refused before evaluation, by class and reason.", "counter")
+	for _, class := range rejectClassesArr {
+		for _, reason := range rejectReasonsArr {
+			p.sample("existdlog_rejected_total",
+				fmt.Sprintf("class=%q,reason=%q", class, reason), s.Rejected[reason+"/"+class])
+		}
+	}
+	p.header("existdlog_shed_total", "Queued requests discarded at dequeue because their deadline had expired.", "counter")
+	p.sample("existdlog_shed_total", "", s.Shed)
+	p.header("existdlog_degraded", "1 while the store is in degraded read-only mode (WAL failing), else 0.", "gauge")
+	p.sample("existdlog_degraded", "", s.Degraded)
+
 	scalars := []struct {
 		name, help string
 		value      int64
@@ -168,6 +180,13 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			p.sample(name, fmt.Sprintf("rule=%q", escapeLabel(r.Text)), m.get(r))
 		}
 	}
+
+	p.header("existdlog_client_retries_total", "Retried attempts by the resilient client reporting into this registry.", "counter")
+	p.sample("existdlog_client_retries_total", "", s.Retries)
+	p.header("existdlog_client_breaker_state", "Client circuit breaker state: 0 closed, 1 half-open, 2 open.", "gauge")
+	p.sample("existdlog_client_breaker_state", "", s.BreakerState)
+	p.header("existdlog_client_breaker_trips_total", "Client circuit breaker transitions to open.", "counter")
+	p.sample("existdlog_client_breaker_trips_total", "", s.BreakerTrips)
 
 	p.header("existdlog_process_start_time_seconds", "Unix time the registry was created.", "gauge")
 	p.printf("existdlog_process_start_time_seconds %s\n",

@@ -1,0 +1,307 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"existdlog/internal/obs"
+)
+
+// fastRetry keeps client tests quick: tight backoff, a handful of
+// attempts.
+func fastRetry() *RetryPolicy {
+	return &RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond}
+}
+
+func TestClientRetriesUntilSuccess(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0") // malformed-as-hint: ignored, backoff applies
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "try later"})
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{Request: "q1", Count: 3, Answers: [][]string{}})
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	c := &Client{Base: ts.URL, Retry: fastRetry(), Registry: reg}
+	res, err := c.Query(context.Background(), "a(X,Y)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || res.Count != 3 {
+		t.Fatalf("result = %+v, want status 200 count 3", res)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server hits = %d, want 3 (two 503s then success)", got)
+	}
+	if got := reg.Snapshot().Retries; got != 2 {
+		t.Errorf("retries_total = %d, want 2", got)
+	}
+}
+
+func TestClientNoRetryWithoutPolicy(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL) // zero-config: one attempt, rejections observable
+	res, err := c.Query(context.Background(), "a(X,Y)", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 passed through", res.Status)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hits = %d, want exactly 1", got)
+	}
+}
+
+// TestClientBackoffSchedule pins the backoff math directly: jittered
+// below the doubling cap, and a server Retry-After hint overriding the
+// schedule (itself capped so a hostile header cannot stall a client
+// for minutes).
+func TestClientBackoffSchedule(t *testing.T) {
+	p := &RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	for n := 1; n <= 6; n++ {
+		cap := p.BaseDelay << (n - 1)
+		if cap > p.MaxDelay || cap <= 0 {
+			cap = p.MaxDelay
+		}
+		for i := 0; i < 50; i++ {
+			if d := p.backoff(n, 0); d <= 0 || d > cap {
+				t.Fatalf("backoff(%d) = %v, want in (0, %v]", n, d, cap)
+			}
+		}
+	}
+	if d := p.backoff(1, 3*time.Second); d != 320*time.Millisecond {
+		t.Errorf("oversized Retry-After backoff = %v, want capped at 4x MaxDelay = 320ms", d)
+	}
+	if d := p.backoff(1, 60*time.Millisecond); d != 60*time.Millisecond {
+		t.Errorf("Retry-After backoff = %v, want the hint honored exactly", d)
+	}
+}
+
+func TestClientBreakerOpensAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if failing.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "down"})
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{Request: "q", Count: 1, Answers: [][]string{}})
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	c := &Client{
+		Base:     ts.URL,
+		Retry:    &RetryPolicy{MaxAttempts: 1}, // isolate the breaker from the retry loop
+		Breaker:  &BreakerPolicy{Threshold: 2, Cooldown: 30 * time.Millisecond},
+		Registry: reg,
+	}
+
+	// Two consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if res, err := c.Query(context.Background(), "a(X,Y)", 0); err != nil || res.Status != http.StatusServiceUnavailable {
+			t.Fatalf("failing call %d: res=%+v err=%v", i, res, err)
+		}
+	}
+	// Open: the next call fails fast without touching the server.
+	before := hits.Load()
+	if _, err := c.Query(context.Background(), "a(X,Y)", 0); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("call with open breaker: err = %v, want ErrCircuitOpen", err)
+	}
+	if hits.Load() != before {
+		t.Error("open breaker still sent a request to the server")
+	}
+	snap := reg.Snapshot()
+	if snap.BreakerTrips != 1 || snap.BreakerState != 2 {
+		t.Errorf("trips=%d state=%d, want trips=1 state=2 (open)", snap.BreakerTrips, snap.BreakerState)
+	}
+
+	// After the cooldown a half-open trial goes through; the server is
+	// healthy again, so the circuit closes.
+	failing.Store(false)
+	time.Sleep(40 * time.Millisecond)
+	res, err := c.Query(context.Background(), "a(X,Y)", 0)
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("post-cooldown call: res=%+v err=%v", res, err)
+	}
+	if got := reg.Snapshot().BreakerState; got != 0 {
+		t.Errorf("breaker state after recovery = %d, want 0 (closed)", got)
+	}
+}
+
+// TestClientDrainsBodiesForReuse is the HTTP-hygiene satellite: every
+// response body — error paths included — must be drained and closed so
+// sequential calls reuse one connection instead of dialing fresh ones.
+func TestClientDrainsBodiesForReuse(t *testing.T) {
+	conns := make(map[string]bool)
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns[r.RemoteAddr] = true
+		mu.Unlock()
+		// A non-200 with a body: the old client left these unread under
+		// some paths, poisoning the connection for reuse.
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad goal"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Query(context.Background(), "nope(", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(conns) != 1 {
+		t.Errorf("sequential error responses used %d connections, want 1 (bodies drained, conn reused)", len(conns))
+	}
+}
+
+// discardWriter swallows a handler's response: the mutation middleware
+// below uses it to let a write APPLY while its acknowledgment is lost.
+type discardWriter struct{ h http.Header }
+
+func (d discardWriter) Header() http.Header         { return d.h }
+func (d discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d discardWriter) WriteHeader(int)             {}
+
+// TestClientIdempotentRetryAppliesOnce is the ack-lost write drill: the
+// first /update fully applies server-side, but the connection dies
+// before the client sees the ack. The retry carries the same
+// Idempotency-Key, so the store's dedup window acknowledges the
+// original application instead of applying again — observable as the
+// retried call acking seq 1 with exactly one version installed.
+func TestClientIdempotentRetryAppliesOnce(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Source: chainSrc, WALDir: filepath.Join(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	var dropped atomic.Bool
+	inner := s.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/update" && dropped.CompareAndSwap(false, true) {
+			inner.ServeHTTP(discardWriter{h: http.Header{}}, r) // the write lands...
+			panic(http.ErrAbortHandler)                         // ...the ack does not
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := NewResilientClient(ts.URL, nil)
+	c.Retry = fastRetry()
+	res, err := c.Mutate(context.Background(), "update", []string{"p(9,10)"}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || res.Seq != 1 {
+		t.Fatalf("retried mutation = %+v, want status 200 seq 1 (the original application's ack)", res)
+	}
+	if got := s.Store().Current().Seq; got != 1 {
+		t.Errorf("store seq = %d, want 1 — the retry was applied a second time", got)
+	}
+	if got := len(s.Store().Current().EDB.Facts("p")); got != 4 {
+		t.Errorf("p has %d facts, want 4 (3 base + 1 mutation)", got)
+	}
+
+	// A genuinely new mutation still advances the store.
+	res, err = c.Mutate(context.Background(), "update", []string{"p(10,11)"}, 2*time.Second)
+	if err != nil || res.Seq != 2 {
+		t.Fatalf("follow-up mutation = %+v err=%v, want seq 2", res, err)
+	}
+}
+
+// TestClientMutationIdempotencyKeyStableAcrossRetries checks the key
+// itself: one Mutate call sends the same Idempotency-Key on every
+// attempt, and distinct calls send distinct keys.
+func TestClientMutationIdempotencyKeyStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	var hits int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("Idempotency-Key"))
+		hits++
+		n := hits
+		mu.Unlock()
+		if n == 1 {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "try again"})
+			return
+		}
+		writeJSON(w, http.StatusOK, mutationResponse{Request: "m", Seq: uint64(n)})
+	}))
+	defer ts.Close()
+
+	c := &Client{Base: ts.URL, Retry: fastRetry()}
+	if _, err := c.Mutate(context.Background(), "update", []string{"p(1,9)"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Mutate(context.Background(), "update", []string{"p(2,9)"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 3 {
+		t.Fatalf("attempts = %d, want 3 (retry then fresh call)", len(keys))
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Errorf("retry keys %q vs %q, want identical and non-empty", keys[0], keys[1])
+	}
+	if keys[2] == keys[0] {
+		t.Errorf("second call reused the first call's idempotency key %q", keys[2])
+	}
+}
+
+// TestClientHonorsRetryAfterHeader: a 503 carrying Retry-After: 1
+// delays the retry by at least that long (the one deliberately slow
+// client test).
+func TestClientHonorsRetryAfterHeader(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1s retry-after wait")
+	}
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "busy"})
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{Request: "q", Answers: [][]string{}})
+	}))
+	defer ts.Close()
+
+	// MaxDelay 300ms would back off far less than 1s on its own; the
+	// hint must override it (it fits under the 4x MaxDelay cap).
+	c := &Client{Base: ts.URL, Retry: &RetryPolicy{MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 300 * time.Millisecond}}
+	start := time.Now()
+	res, err := c.Query(context.Background(), "a(X,Y)", 0)
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+	if waited := time.Since(start); waited < time.Second {
+		t.Errorf("retry waited %v, want >= 1s (the server's Retry-After)", waited)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,7 @@ import (
 	"existdlog"
 	"existdlog/internal/ast"
 	"existdlog/internal/engine"
+	"existdlog/internal/failpoint"
 	"existdlog/internal/ierr"
 	"existdlog/internal/obs"
 	"existdlog/internal/parser"
@@ -71,6 +73,17 @@ type Config struct {
 	// requests wait in a queue (observable as the queue-depth gauge).
 	// 0 means 4.
 	MaxConcurrent int
+	// MaxQueue bounds each priority class's admission queue; a request
+	// arriving at a full queue is rejected immediately with 429 and a
+	// Retry-After hint instead of waiting. 0 means 16× MaxConcurrent.
+	MaxQueue int
+	// QueueTimeout bounds how long an admitted-but-queued request may
+	// wait for an evaluation slot before a 503; it also sizes the
+	// Retry-After hint on rejections. 0 means 1s.
+	QueueTimeout time.Duration
+	// ProbeEvery is the cadence of degraded-mode recovery probes
+	// against the WAL (0 = the store's 500ms default).
+	ProbeEvery time.Duration
 	// MaxFacts bounds derived facts per query (0 = unlimited); blown
 	// queries return a sound partial result instead of eating the heap.
 	MaxFacts int
@@ -107,7 +120,7 @@ type Server struct {
 	base  *ast.Program
 	store *Store
 
-	slots chan struct{}
+	adm   *admission
 	cache sync.Map // goal key -> *compiled
 
 	mu       sync.Mutex
@@ -142,6 +155,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
 	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 16 * cfg.MaxConcurrent
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = time.Second
+	}
 	store, err := NewStore(prog, db, StoreConfig{
 		WALDir:        cfg.WALDir,
 		SnapshotEvery: cfg.SnapshotEvery,
@@ -149,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 		Registry:      reg,
 		Logger:        logger,
 		Now:           now,
+		ProbeEvery:    cfg.ProbeEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -161,7 +181,7 @@ func New(cfg Config) (*Server, error) {
 		now:      now,
 		base:     prog,
 		store:    store,
-		slots:    make(chan struct{}, cfg.MaxConcurrent),
+		adm:      newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout, reg),
 		abortCtx: abortCtx,
 		abort:    abort,
 	}
@@ -391,19 +411,70 @@ func errStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// retryAfterSeconds is the Retry-After hint sent with every rejection:
+// the queue timeout rounded up to whole seconds (min 1) — by then the
+// backlog that caused the rejection has either drained or been shed.
+func (s *Server) retryAfterSeconds() int {
+	secs := int((s.cfg.QueueTimeout + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// reject refuses a request before evaluation: 429/503 plus Retry-After,
+// counted under rejected_total{reason,class}, never under the query or
+// mutation outcome counters — a rejected request did not reach the
+// engine, and folding rejections into error outcomes would poison the
+// latency and outcome metrics exactly when they matter most.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, id string, class admitClass, reason string, status int, err error) {
+	s.reg.Rejected(reason, class.String())
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.log.LogAttrs(r.Context(), slog.LevelWarn, "request rejected",
+		slog.String("request", id),
+		slog.String("class", class.String()),
+		slog.String("reason", reason),
+		slog.Int("status", status),
+		slog.String("error", err.Error()))
+	writeJSON(w, status, errorResponse{Request: id, Error: err.Error()})
+}
+
+// rejectAdmit maps an admission error onto the wire: queue_full is 429
+// (the server is out of queue capacity — back off), queue_timeout is
+// 503 (we waited the bounded time and no slot freed). A shed request —
+// its own deadline died while it queued — also gets a 503, but is
+// counted only in shed_total (the controller already did), not in
+// rejected_total.
+func (s *Server) rejectAdmit(w http.ResponseWriter, r *http.Request, id string, class admitClass, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.reject(w, r, id, class, "queue_full", http.StatusTooManyRequests, err)
+	case errors.Is(err, errQueueTimeout):
+		s.reject(w, r, id, class, "queue_timeout", http.StatusServiceUnavailable, err)
+	default: // errShed
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
+			slog.String("request", id),
+			slog.String("class", class.String()),
+			slog.String("error", err.Error()))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Request: id, Error: err.Error()})
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
+	id := fmt.Sprintf("q%d", s.reqSeq.Add(1))
 	if !s.enter() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		s.reject(w, r, id, admitQuery, "draining", http.StatusServiceUnavailable,
+			errors.New("server is draining"))
 		return
 	}
 	defer s.inflight.Done()
 
-	id := fmt.Sprintf("q%d", s.reqSeq.Add(1))
 	start := s.now()
 	fail := func(status int, err error) {
 		elapsed := s.now().Sub(start)
@@ -414,6 +485,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			slog.String("error", err.Error()),
 			slog.Duration("elapsed", elapsed))
 		writeJSON(w, status, errorResponse{Request: id, Error: err.Error()})
+	}
+
+	// Chaos site: the failpoint-tagged suite injects handler latency
+	// here to simulate slow evaluation without burning CPU.
+	if err := failpoint.Inject("server/slow"); err != nil {
+		fail(http.StatusInternalServerError, err)
+		return
 	}
 
 	var req queryRequest
@@ -489,19 +567,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer tcancel()
 	}
 
-	// Wait for an evaluation slot; the wait is bounded by the same
-	// context as the evaluation.
-	s.reg.QueueEnter()
-	select {
-	case s.slots <- struct{}{}:
-		s.reg.QueueLeave()
-	case <-evalCtx.Done():
-		s.reg.QueueLeave()
-		fail(http.StatusServiceUnavailable,
-			fmt.Errorf("waiting for an evaluation slot: %w", context.Cause(evalCtx)))
+	// Bounded admission: take an evaluation slot now, wait briefly in
+	// the query-class queue, or get rejected/shed. The wait is bounded
+	// by both the queue timeout and the request's own deadline.
+	if aerr := s.adm.admit(evalCtx, admitQuery); aerr != nil {
+		s.rejectAdmit(w, r, id, admitQuery, aerr)
 		return
 	}
-	defer func() { <-s.slots }()
+	defer s.adm.release()
 
 	finish := s.reg.QueryStarted()
 	defer finish()
@@ -636,13 +709,23 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
+	id := fmt.Sprintf("m%d", s.reqSeq.Add(1))
 	if !s.enter() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		s.reject(w, r, id, admitMutation, "draining", http.StatusServiceUnavailable,
+			errors.New("server is draining"))
 		return
 	}
 	defer s.inflight.Done()
 
-	id := fmt.Sprintf("m%d", s.reqSeq.Add(1))
+	// Fail fast in degraded mode: the WAL is refusing writes, so a
+	// mutation cannot be made durable — reject it before it occupies
+	// queue capacity that reads could use.
+	if deg, cause := s.store.Degraded(); deg {
+		s.reject(w, r, id, admitMutation, "degraded", http.StatusServiceUnavailable,
+			fmt.Errorf("%w: %s", ErrDegraded, cause))
+		return
+	}
+
 	start := s.now()
 	fail := func(status int, err error) {
 		s.reg.ObserveMutation(string(op), false)
@@ -686,8 +769,23 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	seq, err := s.store.Mutate(ctx, Mutation{Op: op, Facts: facts})
+	// Mutations share the slot pool with queries but queue at lower
+	// priority: under contention reads keep flowing while writes wait,
+	// are bounded, or are rejected for the (idempotent) client to retry.
+	if aerr := s.adm.admit(ctx, admitMutation); aerr != nil {
+		s.rejectAdmit(w, r, id, admitMutation, aerr)
+		return
+	}
+	defer s.adm.release()
+
+	seq, err := s.store.Mutate(ctx, Mutation{Op: op, Facts: facts, ID: r.Header.Get("Idempotency-Key")})
 	if err != nil {
+		if errors.Is(err, ErrDegraded) {
+			// The WAL failed under us (possibly mid-batch, after this
+			// mutation was queued): nothing was applied or acked.
+			s.reject(w, r, id, admitMutation, "degraded", http.StatusServiceUnavailable, err)
+			return
+		}
 		status := errStatus(err)
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			status = http.StatusServiceUnavailable
@@ -733,6 +831,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if draining {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	// Degraded is not-ready with a reason: orchestrators can steer
+	// writes elsewhere, but /query keeps answering from the last
+	// installed version, so the process stays up.
+	if deg, cause := s.store.Degraded(); deg {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: %s\n", cause)
 		return
 	}
 	fmt.Fprintln(w, "ready")

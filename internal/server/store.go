@@ -14,9 +14,17 @@ import (
 
 	"existdlog/internal/ast"
 	"existdlog/internal/engine"
+	"existdlog/internal/failpoint"
 	"existdlog/internal/obs"
 	"existdlog/internal/wal"
 )
+
+// ErrDegraded marks mutations refused while the store is in degraded
+// read-only mode: a WAL append or fsync failed (disk full, I/O error),
+// so writes cannot be made durable. Queries keep serving from the last
+// installed version; a background probe re-enables writes once the log
+// accepts a durable frame again.
+var ErrDegraded = errors.New("store is degraded (read-only): the write-ahead log is failing")
 
 // Store is the versioned copy-on-write fact store behind the service's
 // write path. Readers pin an immutable Version with one atomic load and
@@ -61,6 +69,22 @@ type Store struct {
 	snapEvery int
 	sinceSnap int
 
+	// Degraded read-only mode: set when a WAL append/sync fails, cleared
+	// when a probe write succeeds. Mutate fails fast while set; queries
+	// never look at it. The cause string feeds the readiness probe.
+	degraded      atomic.Bool
+	degradedMu    sync.Mutex
+	degradedCause string
+	probeEvery    time.Duration
+
+	// Idempotency dedup window: client-supplied mutation IDs already
+	// applied, mapped to an including version's sequence. Owned by the
+	// applier goroutine (and by NewStore's replay, which runs before the
+	// applier starts), so it needs no lock. Bounded FIFO: seenOrder
+	// remembers insertion order for eviction.
+	seen      map[string]uint64
+	seenOrder []string
+
 	reqs      chan *mutReq
 	quit      chan struct{}
 	done      chan struct{}
@@ -81,10 +105,15 @@ type Version struct {
 }
 
 // Mutation is one write request: add (OpUpdate) or remove (OpRetract)
-// the given base facts.
+// the given base facts. ID, when non-empty, is an idempotency key: a
+// mutation whose ID was already applied (within the dedup window, which
+// WAL replay rebuilds across restarts) acknowledges the original's
+// sequence without applying again — the contract that makes a retried
+// ack-lost write safe.
 type Mutation struct {
 	Op    wal.Op
 	Facts []wal.Fact
+	ID    string
 }
 
 type mutReq struct {
@@ -110,9 +139,12 @@ type StoreConfig struct {
 	// hitting it disables materialization rather than installing an
 	// incomplete fixpoint.
 	MaxFacts int
-	Registry *obs.Registry
-	Logger   *slog.Logger
-	Now      func() time.Time
+	// ProbeEvery is how often a degraded store probes the log for
+	// recovery (0 = 500ms). Tests shorten it.
+	ProbeEvery time.Duration
+	Registry   *obs.Registry
+	Logger     *slog.Logger
+	Now        func() time.Time
 }
 
 const (
@@ -121,6 +153,11 @@ const (
 	// maxBatch bounds how many queued mutations one maintenance pass
 	// absorbs, so acks are never starved behind an unbounded drain.
 	maxBatch = 256
+	// idemWindow bounds the idempotency dedup map: the oldest remembered
+	// ID is evicted past this many. A retry storm resolves within
+	// seconds; the window only needs to outlive the client's retry
+	// horizon, not the process.
+	idemWindow = 8192
 )
 
 // NewStore recovers the durable state (checkpoint, then newer log
@@ -139,9 +176,14 @@ func NewStore(prog *ast.Program, edb *engine.Database, cfg StoreConfig) (*Store,
 		incremental: !prog.HasNegation(),
 		matEnabled:  true,
 		snapEvery:   cfg.SnapshotEvery,
+		probeEvery:  cfg.ProbeEvery,
+		seen:        make(map[string]uint64),
 		reqs:        make(chan *mutReq, maxBatch),
 		quit:        make(chan struct{}),
 		done:        make(chan struct{}),
+	}
+	if s.probeEvery <= 0 {
+		s.probeEvery = 500 * time.Millisecond
 	}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -174,6 +216,9 @@ func NewStore(prog *ast.Program, edb *engine.Database, cfg StoreConfig) (*Store,
 		s.wlog = wlog
 		replayed := 0
 		for _, rec := range recs {
+			if rec.Op == wal.OpProbe {
+				continue // disk-health probe, carries no state
+			}
 			if rec.Seq <= seq {
 				continue // already inside the checkpoint
 			}
@@ -183,6 +228,7 @@ func NewStore(prog *ast.Program, edb *engine.Database, cfg StoreConfig) (*Store,
 			}
 			seq = rec.Seq
 			replayed++
+			s.rememberID(rec.ID, rec.Seq)
 		}
 		s.sinceSnap = replayed
 		if replayed > 0 || snapSeq > 0 {
@@ -200,6 +246,81 @@ func NewStore(prog *ast.Program, edb *engine.Database, cfg StoreConfig) (*Store,
 // Current returns the store's latest immutable version.
 func (s *Store) Current() *Version { return s.cur.Load() }
 
+// Degraded reports whether the store is in degraded read-only mode and,
+// if so, what put it there (the readiness probe's reason string).
+func (s *Store) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return true, s.degradedCause
+}
+
+// enterDegraded flips the store read-only: mutations fail fast, the
+// degraded gauge rises, and the applier starts probing for recovery.
+func (s *Store) enterDegraded(cause error) {
+	if s.degraded.Swap(true) {
+		return
+	}
+	s.degradedMu.Lock()
+	s.degradedCause = cause.Error()
+	s.degradedMu.Unlock()
+	if s.reg != nil {
+		s.reg.SetDegraded(true)
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelError,
+		"store degraded: serving reads only until the log recovers",
+		slog.String("cause", cause.Error()))
+}
+
+// exitDegraded re-enables writes after a successful probe.
+func (s *Store) exitDegraded() {
+	if !s.degraded.Swap(false) {
+		return
+	}
+	s.degradedMu.Lock()
+	s.degradedCause = ""
+	s.degradedMu.Unlock()
+	if s.reg != nil {
+		s.reg.SetDegraded(false)
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo,
+		"store recovered: probe write succeeded, mutations re-enabled")
+}
+
+// probe checks whether the log takes durable writes again; on success
+// the store leaves degraded mode.
+func (s *Store) probe() {
+	if s.wlog == nil {
+		return
+	}
+	if err := s.wlog.Probe(); err != nil {
+		s.log.LogAttrs(context.Background(), slog.LevelDebug, "degraded probe failed",
+			slog.String("error", err.Error()))
+		return
+	}
+	s.exitDegraded()
+}
+
+// rememberID records an applied idempotency key, evicting the oldest
+// past the window. Applier-owned (startup replay runs before the
+// applier), so no locking.
+func (s *Store) rememberID(id string, seq uint64) {
+	if id == "" {
+		return
+	}
+	if _, ok := s.seen[id]; ok {
+		return
+	}
+	s.seen[id] = seq
+	s.seenOrder = append(s.seenOrder, id)
+	if len(s.seenOrder) > idemWindow {
+		delete(s.seen, s.seenOrder[0])
+		s.seenOrder = s.seenOrder[1:]
+	}
+}
+
 // Mutate submits one mutation and waits for it to be durable and
 // applied. The returned sequence identifies the first version that
 // includes it. Cancelling ctx abandons the wait, not the write: a
@@ -210,6 +331,12 @@ func (s *Store) Mutate(ctx context.Context, m Mutation) (uint64, error) {
 	}
 	if len(m.Facts) == 0 {
 		return 0, errors.New("server: mutation with no facts")
+	}
+	if s.degraded.Load() {
+		// Fail fast: don't even queue. A request already queued when the
+		// flag flips is failed by the applier instead.
+		_, cause := s.Degraded()
+		return 0, fmt.Errorf("%w: %s", ErrDegraded, cause)
 	}
 	req := &mutReq{m: m, ack: make(chan mutAck, 1)}
 	select {
@@ -306,11 +433,28 @@ func (s *Store) applier() {
 	defer close(s.done)
 	for {
 		var first *mutReq
-		select {
-		case first = <-s.reqs:
-		case <-s.quit:
-			s.failQueued()
-			return
+		if s.degraded.Load() {
+			// Read-only: instead of blocking on work that would only be
+			// refused, wake periodically to probe the log for recovery.
+			timer := time.NewTimer(s.probeEvery)
+			select {
+			case first = <-s.reqs:
+				timer.Stop()
+			case <-timer.C:
+				s.probe()
+				continue
+			case <-s.quit:
+				timer.Stop()
+				s.failQueued()
+				return
+			}
+		} else {
+			select {
+			case first = <-s.reqs:
+			case <-s.quit:
+				s.failQueued()
+				return
+			}
 		}
 		batch := []*mutReq{first}
 	drain:
@@ -340,6 +484,13 @@ func (s *Store) failQueued() {
 
 // applyBatch runs one maintenance pass over a batch of mutations.
 func (s *Store) applyBatch(batch []*mutReq) {
+	if s.degraded.Load() {
+		// Queued before (or while) the flag flipped: refuse without
+		// touching the log or the state.
+		_, cause := s.Degraded()
+		s.ackAll(batch, mutAck{err: fmt.Errorf("%w: %s", ErrDegraded, cause)})
+		return
+	}
 	start := s.now()
 	prev := s.cur.Load()
 	edb := prev.EDB.Clone()
@@ -347,12 +498,30 @@ func (s *Store) applyBatch(batch []*mutReq) {
 
 	// Validate against the evolving base state; invalid mutations are
 	// acked with their error and excluded from the batch (they reach
-	// neither the log nor the maintenance pass).
+	// neither the log nor the maintenance pass). A mutation whose
+	// idempotency key was already applied is acked with the remembered
+	// sequence — it was durable the first time; an in-batch duplicate
+	// rides along and acks with this batch's sequence.
 	valid := batch[:0:0]
+	var dupes []*mutReq // in-batch duplicates: share the batch's fate
+	batchIDs := map[string]bool{}
 	for _, r := range batch {
+		if r.m.ID != "" {
+			if seq, ok := s.seen[r.m.ID]; ok {
+				r.ack <- mutAck{seq: seq}
+				continue
+			}
+			if batchIDs[r.m.ID] {
+				dupes = append(dupes, r)
+				continue
+			}
+		}
 		if err := s.validate(edb, r.m); err != nil {
 			r.ack <- mutAck{err: err}
 			continue
+		}
+		if r.m.ID != "" {
+			batchIDs[r.m.ID] = true
 		}
 		valid = append(valid, r)
 	}
@@ -371,26 +540,39 @@ func (s *Store) applyBatch(batch []*mutReq) {
 		run := valid[i:j]
 		mat, err = s.applyRun(edb, mat, run[0].m.Op, run)
 		if err != nil {
-			for _, r := range valid {
-				r.ack <- mutAck{err: err}
-			}
+			s.ackAll(valid, mutAck{err: err})
+			s.ackAll(dupes, mutAck{err: err})
 			return
 		}
 		i = j
 	}
 
-	// Group commit: one fsync covers every record in the batch.
+	// Group commit: one fsync covers every record in the batch. A log
+	// failure here — append or sync, real or injected — means the batch
+	// cannot be made durable: no version is installed, no ack is sent,
+	// any frames already appended are rolled back to the durable prefix,
+	// and the store flips to degraded read-only mode.
 	seq := prev.Seq
 	if s.wlog != nil {
+		var werr error
 		for _, r := range valid {
 			seq++
-			if err := s.wlog.Append(wal.Record{Seq: seq, Op: r.m.Op, Facts: r.m.Facts}); err != nil {
-				s.ackAll(valid, mutAck{err: err})
-				return
+			if werr = s.wlog.Append(wal.Record{Seq: seq, Op: r.m.Op, Facts: r.m.Facts, ID: r.m.ID}); werr != nil {
+				break
 			}
 		}
-		if err := s.wlog.Sync(); err != nil {
-			s.ackAll(valid, mutAck{err: err})
+		if werr == nil {
+			werr = s.wlog.Sync()
+		}
+		if werr != nil {
+			if rberr := s.wlog.Rollback(); rberr != nil {
+				s.log.LogAttrs(context.Background(), slog.LevelWarn, "wal rollback failed",
+					slog.String("error", rberr.Error()))
+			}
+			s.enterDegraded(werr)
+			ack := mutAck{err: fmt.Errorf("%w: %s", ErrDegraded, werr)}
+			s.ackAll(valid, ack)
+			s.ackAll(dupes, ack)
 			return
 		}
 		if s.reg != nil {
@@ -401,6 +583,9 @@ func (s *Store) applyBatch(batch []*mutReq) {
 		seq += uint64(len(valid))
 	}
 
+	for _, r := range valid {
+		s.rememberID(r.m.ID, seq)
+	}
 	s.install(&Version{Seq: seq, EDB: edb, Mat: mat})
 	// Checkpoint before acking: not needed for durability (the WAL
 	// already covers the batch) but it keeps "ack received" implying
@@ -410,6 +595,7 @@ func (s *Store) applyBatch(batch []*mutReq) {
 		s.reg.ObserveMaintenance(len(valid), s.now().Sub(start))
 	}
 	s.ackAll(valid, mutAck{seq: seq})
+	s.ackAll(dupes, mutAck{seq: seq})
 }
 
 func (s *Store) ackAll(reqs []*mutReq, a mutAck) {
@@ -443,6 +629,12 @@ func (s *Store) validate(edb *engine.Database, m Mutation) error {
 // installing an incomplete fixpoint; the base facts remain exact either
 // way, so queries are unaffected.
 func (s *Store) applyRun(edb *engine.Database, mat *engine.Result, op wal.Op, run []*mutReq) (*engine.Result, error) {
+	// Chaos site: an injected maintenance error fails the batch before
+	// anything is logged or installed — clients see a clean error, the
+	// store stays on the previous version.
+	if err := failpoint.Inject("store/maintain"); err != nil {
+		return nil, fmt.Errorf("server: maintenance: %w", err)
+	}
 	delta := engine.NewDatabase()
 	for _, r := range run {
 		for _, f := range r.m.Facts {

@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestLogRollbackDiscardsUnsynced: frames appended after the last Sync
+// are dropped by Rollback, frames before it survive, and the log keeps
+// accepting writes at the rolled-back offset.
+func TestLogRollbackDiscardsUnsynced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+
+	durable := rec(1, OpUpdate, Fact{Key: "e", Row: []string{"a", "b"}})
+	if err := l.Append(durable); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Two frames past the durable prefix, never synced.
+	if err := l.Append(rec(2, OpUpdate, Fact{Key: "e", Row: []string{"b", "c"}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(3, OpUpdate, Fact{Key: "e", Row: []string{"c", "d"}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// The log stays writable after a rollback: the next commit lands
+	// where the discarded frames were.
+	after := rec(4, OpUpdate, Fact{Key: "e", Row: []string{"d", "e"}})
+	if err := l.Append(after); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, got := openT(t, path)
+	want := []Record{durable, after}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("replay after rollback\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestLogRollbackNoopWhenClean: with nothing unsynced, Rollback leaves
+// the log untouched.
+func TestLogRollbackNoopWhenClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	r := rec(1, OpUpdate, Fact{Key: "e", Row: []string{"a", "b"}})
+	if err := l.Append(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, got := openT(t, path)
+	if len(got) != 1 {
+		t.Fatalf("replay after clean rollback = %d records, want 1", len(got))
+	}
+}
+
+// TestLogProbeLeavesNoResidue: a successful Probe proves the disk
+// takes durable writes and leaves the log byte-identical — no probe
+// frame survives, existing records are intact, and appends continue
+// normally.
+func TestLogProbeLeavesNoResidue(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+
+	first := rec(1, OpUpdate, Fact{Key: "e", Row: []string{"a", "b"}})
+	if err := l.Append(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Probe(); err != nil {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	second := rec(2, OpUpdate, Fact{Key: "e", Row: []string{"b", "c"}})
+	if err := l.Append(second); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, got := openT(t, path)
+	want := []Record{first, second}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("replay after probes\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestLogProbeOnEmptyLog: probing a fresh log works and leaves it
+// empty.
+func TestLogProbeOnEmptyLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	if err := l.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, got := openT(t, path)
+	if len(got) != 0 {
+		t.Fatalf("replay after probe on empty log = %d records, want 0", len(got))
+	}
+}
+
+// TestLogProbeDropsUnsyncedFirst: Probe begins with a rollback, so
+// unsynced frames from a failed group commit never linger past the
+// first successful probe.
+func TestLogProbeDropsUnsyncedFirst(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path)
+	durable := rec(1, OpUpdate, Fact{Key: "e", Row: []string{"a", "b"}})
+	if err := l.Append(durable); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(rec(2, OpUpdate, Fact{Key: "e", Row: []string{"x", "y"}})); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, got := openT(t, path)
+	want := []Record{durable}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("replay\ngot  %v\nwant %v", got, want)
+	}
+}

@@ -32,14 +32,20 @@ import (
 	"path/filepath"
 
 	"existdlog/internal/engine"
+	"existdlog/internal/failpoint"
 )
 
-// Op distinguishes the two mutation kinds the service logs.
+// Op distinguishes the mutation kinds the service logs.
 type Op string
 
 const (
 	OpUpdate  Op = "update"
 	OpRetract Op = "retract"
+	// OpProbe is a disk-health probe frame the degraded-mode recovery
+	// path appends and fsyncs, then rolls back. It carries no facts and
+	// replay skips it — one can survive only if the process dies between
+	// the probe's sync and its rollback, which is harmless.
+	OpProbe Op = "probe"
 )
 
 // Fact is one base tuple named by relation key and constant row.
@@ -49,20 +55,31 @@ type Fact struct {
 }
 
 // Record is one durable mutation: all facts of one acknowledged write.
+// ID is the client's idempotency key, when one was supplied: replay
+// rebuilds the store's dedup window from it, so a retried ack-lost
+// write is applied once even across a restart.
 type Record struct {
 	Seq   uint64 `json:"seq"`
 	Op    Op     `json:"op"`
 	Facts []Fact `json:"facts"`
+	ID    string `json:"id,omitempty"`
 }
 
 // maxFrame bounds a frame payload; anything larger in a length header is
 // treated as tail corruption rather than an attempted allocation.
 const maxFrame = 1 << 28
 
-// Log is an append-only mutation log backed by one file.
+// Log is an append-only mutation log backed by one file. It tracks two
+// offsets: off, the end of everything appended, and synced, the end of
+// the durable prefix (advanced by Sync). Rollback truncates back to the
+// durable prefix — the degraded-mode path uses it to discard frames
+// that were appended but never became durable, so the on-disk log never
+// carries a record the store did not acknowledge and apply.
 type Log struct {
 	f       *os.File
 	lastSeq uint64
+	off     int64
+	synced  int64
 }
 
 // Open opens (creating if absent) the log at path, replays every intact
@@ -108,7 +125,7 @@ func Open(path string) (*Log, []Record, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
-	l := &Log{f: f}
+	l := &Log{f: f, off: off, synced: off}
 	for _, r := range recs {
 		if r.Seq > l.lastSeq {
 			l.lastSeq = r.Seq
@@ -118,8 +135,12 @@ func Open(path string) (*Log, []Record, error) {
 }
 
 // Append writes one record frame. It is buffered by the OS only; the
-// record is not durable until Sync returns.
+// record is not durable until Sync returns. The "wal/append" failpoint
+// injects write faults (ENOSPC, EIO) here for the degraded-mode suite.
 func (l *Log) Append(rec Record) error {
+	if err := failpoint.Inject("wal/append"); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("wal: encode: %w", err)
@@ -131,6 +152,7 @@ func (l *Log) Append(rec Record) error {
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	l.off += int64(len(frame))
 	if rec.Seq > l.lastSeq {
 		l.lastSeq = rec.Seq
 	}
@@ -138,11 +160,66 @@ func (l *Log) Append(rec Record) error {
 }
 
 // Sync makes every appended record durable (one fsync; callers batch
-// appends to group-commit).
+// appends to group-commit). The "wal/sync" failpoint injects fsync
+// faults here for the degraded-mode suite.
 func (l *Log) Sync() error {
+	if err := failpoint.Inject("wal/sync"); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.synced = l.off
+	return nil
+}
+
+// Rollback discards every frame appended since the last successful
+// Sync, truncating the file back to the durable prefix. The store calls
+// it after a failed group commit: the discarded frames were never
+// acknowledged and never applied, so dropping them restores the
+// log-matches-store invariant before the next write (or probe).
+func (l *Log) Rollback() error {
+	if l.off == l.synced {
+		return nil
+	}
+	if err := l.f.Truncate(l.synced); err != nil {
+		return fmt.Errorf("wal: rollback: %w", err)
+	}
+	if _, err := l.f.Seek(l.synced, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: rollback: %w", err)
+	}
+	l.off = l.synced
+	return nil
+}
+
+// Probe checks the log can still take durable writes: it appends a
+// contentless probe frame, fsyncs it, and rolls it back. Success means
+// appends and fsyncs work again — the degraded-mode recovery signal. A
+// probe frame that survives a crash between sync and rollback is
+// skipped at replay (OpProbe carries no facts).
+func (l *Log) Probe() error {
+	if err := l.Rollback(); err != nil {
+		return err
+	}
+	base := l.off
+	if err := l.Append(Record{Op: OpProbe}); err != nil {
+		return err
+	}
+	if err := l.Sync(); err != nil {
+		// The probe frame never became durable; best-effort drop it (a
+		// leftover is re-dropped by the next probe's own Rollback).
+		l.Rollback()
+		return err
+	}
+	// The probe frame is durable, so the disk is healthy; truncate it
+	// away (synced moved past it, so Rollback would keep it).
+	if err := l.f.Truncate(base); err != nil {
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	if _, err := l.f.Seek(base, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: probe: %w", err)
+	}
+	l.off, l.synced = base, base
 	return nil
 }
 
@@ -157,6 +234,7 @@ func (l *Log) Reset() error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: reset: %w", err)
 	}
+	l.off, l.synced = 0, 0
 	return nil
 }
 

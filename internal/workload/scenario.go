@@ -49,6 +49,22 @@ var Scenarios = map[string]Scenario{
 		Mix:         Mix{Point: 0.2, Recursive: 0.7, Boolean: 0.1},
 		SLO:         "p99=2s,errors=0",
 	},
+	"overload": {
+		Name: "overload",
+		Description: "sustained 3x-saturation point-query overload: the admission " +
+			"controller must keep goodput flat and reject the rest with 429/503",
+		Nodes: 200,
+		// PR 6's BENCH baselines put the optimized point-query path at
+		// ~26rps on one core; 78rps ≈ 3× saturation. Every request asks
+		// a bound-first-argument goal so rejected work is comparable to
+		// served work.
+		Periods: []Period{{Rate: 78, Duration: 10 * time.Second}},
+		Mix:     Mix{Point: 1.0},
+		// Goodput must hold near saturation while p99 of *served*
+		// requests stays bounded by the queue timeout (rejected
+		// requests are excluded from latency).
+		SLO: "p99=1500ms,goodput=20",
+	},
 	"mixed": {
 		Name:        "mixed",
 		Description: "mixed read/write with a mid-run rate burst and 20% mutations",
