@@ -1,0 +1,95 @@
+package existdlog
+
+// Allocation-ceiling guard for the columnar arena storage (ISSUE 8
+// satellite 5). The arena rewrite's whole value is its allocation
+// profile — tuple fingerprints instead of string keys, flat []int32
+// instead of per-row slices — so CI re-runs the engine benchmark-pair
+// workloads under testing.Benchmark and FAILS when allocs/op creep past
+// the pinned ceilings, rather than just logging numbers nobody reads.
+//
+// Ceilings carry ~40-50% headroom over the values measured on the
+// machine that pinned them (see EXPERIMENTS.md "Columnar arena storage"
+// for the measured table). Allocation counts, unlike wall-clock, are
+// deterministic per workload, so a ceiling breach means a real
+// regression — e.g. per-tuple keys or per-probe boxing coming back —
+// not a noisy runner.
+//
+// The guard costs a few seconds of benchmarking, so it only runs when
+// EXISTDLOG_BENCH_GUARD is set (the CI bench job sets it); ordinary
+// `go test ./...` skips it.
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestBenchAllocCeilings(t *testing.T) {
+	if os.Getenv("EXISTDLOG_BENCH_GUARD") == "" {
+		t.Skip("set EXISTDLOG_BENCH_GUARD=1 to run the alloc-ceiling guard (the CI bench job does)")
+	}
+
+	chain := func(n int) *Database {
+		db := NewDatabase()
+		for i := 0; i < n; i++ {
+			db.Add("p", fmt.Sprint(i), fmt.Sprint(i+1))
+		}
+		return db
+	}
+	tcProg := MustParseProgram(`
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	tc8Src := ""
+	for i := 0; i < 8; i++ {
+		tc8Src += fmt.Sprintf("a%d(X,Y) :- p%d(X,Z), a%d(Z,Y).\na%d(X,Y) :- p%d(X,Y).\n", i, i, i, i, i)
+	}
+	tc8Prog := MustParseProgram(tc8Src + "?- a0(X,Y).\n")
+	tc8DB := NewDatabase()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 192; j++ {
+			tc8DB.Add(fmt.Sprintf("p%d", i), fmt.Sprint(j), fmt.Sprint(j+1))
+		}
+	}
+
+	cases := []struct {
+		name    string
+		ceiling int64 // allocs/op; measured value in the comment
+		opts    EvalOptions
+		prog    *Program
+		db      *Database
+	}{
+		// BenchmarkEngineSemiNaiveTCChain512: measured 167,453 allocs/op
+		// (seed storage: 1,876,170).
+		{"SemiNaiveTCChain512", 250_000, EvalOptions{}, tcProg, chain(512)},
+		// BenchmarkParallelSemiNaive/tc8/parallel: measured 229,105
+		// allocs/op (seed storage: 2,159,652).
+		{"ParallelTC8", 350_000, EvalOptions{Strategy: Parallel}, tc8Prog, tc8DB},
+		// The trace pair's disabled side (BenchmarkEvalTraceOff's
+		// chain-10 workload, minus the harness's option plumbing):
+		// measured 439 allocs/op here; the in-engine pin with tracing
+		// plumbing is 1,715 (seed storage: 7,828).
+		{"EvalTraceOffChain10", 700, EvalOptions{}, tcProg, chain(10)},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := Eval(c.prog, c.db, c.opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if got := r.AllocsPerOp(); got > c.ceiling {
+				t.Errorf("%s: %d allocs/op exceeds the pinned ceiling %d — per-tuple allocation has crept back into the arena paths (run the %s benchmarks with -benchmem to localize)",
+					c.name, got, c.ceiling, c.name)
+			} else {
+				t.Logf("%s: %d allocs/op (ceiling %d), %v/op over %d iterations",
+					c.name, got, c.ceiling, r.NsPerOp(), r.N)
+			}
+		})
+	}
+}

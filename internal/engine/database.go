@@ -138,7 +138,8 @@ func (db *Database) Facts(key string) [][]string {
 		return nil
 	}
 	out := make([][]string, 0, r.Len())
-	for _, t := range r.Tuples() {
+	for ti := 0; ti < r.Len(); ti++ {
+		t := r.Tuple(ti)
 		row := make([]string, len(t))
 		for i, id := range t {
 			row[i] = db.Syms.Name(id)
@@ -174,7 +175,9 @@ func (db *Database) TotalFacts() int {
 	return n
 }
 
-// Clone returns a deep copy sharing nothing with the receiver.
+// Clone returns an isolated copy: relations and the interner are cloned
+// copy-on-write, so the copy is O(#relations) and either side can mutate
+// without the other observing it.
 func (db *Database) Clone() *Database {
 	c := &Database{Syms: db.Syms.Clone(), rels: make(map[string]*Relation, len(db.rels))}
 	for k, r := range db.rels {
@@ -188,8 +191,8 @@ func (db *Database) Clone() *Database {
 func (db *Database) ActiveDomain() []int32 {
 	seen := make(map[int32]bool)
 	for _, r := range db.rels {
-		for _, t := range r.Tuples() {
-			for _, id := range t {
+		for ti := 0; ti < r.Len(); ti++ {
+			for _, id := range r.Tuple(ti) {
 				seen[id] = true
 			}
 		}
@@ -219,7 +222,7 @@ func (db *Database) RemoveFacts(key string, rows [][]string) int {
 	if !ok {
 		return 0
 	}
-	dead := make(map[string]bool, len(rows))
+	dead := NewRelation(rel.Arity())
 	for _, row := range rows {
 		if len(row) != rel.Arity() {
 			continue
@@ -237,17 +240,18 @@ func (db *Database) RemoveFacts(key string, rows [][]string) int {
 		if miss || !rel.Contains(t) {
 			continue
 		}
-		dead[tupleKey(t)] = true
+		dead.Insert(t)
 	}
-	if len(dead) == 0 {
+	if dead.Len() == 0 {
 		return 0
 	}
 	fresh := NewRelation(rel.Arity())
-	for _, t := range rel.Tuples() {
-		if !dead[tupleKey(t)] {
+	for ti := 0; ti < rel.Len(); ti++ {
+		t := rel.Tuple(ti)
+		if !dead.Contains(t) {
 			fresh.Insert(t)
 		}
 	}
 	db.rels[key] = fresh
-	return len(dead)
+	return dead.Len()
 }

@@ -123,6 +123,50 @@ func TestStrategiesAgree(t *testing.T) {
 						}
 					}
 				}
+
+				// ISSUE 8 satellite 3: re-run SemiNaive and Parallel with the
+				// map-of-strings reference storage mirrored into every
+				// relation (refcheck.go verifies newness, order, membership,
+				// and probes operation by operation and panics on the first
+				// divergence), then assert the mirror-on results are
+				// bit-identical to the mirror-off ones — answers, Stats,
+				// Trace, and per-relation insertion order. Every 4th trial:
+				// the mirror's brute-force Match verification is quadratic.
+				if trial%4 == 0 {
+					func() {
+						refCheckEnabled = true
+						defer func() { refCheckEnabled = false }()
+						for _, strat := range []Strategy{SemiNaive, Parallel} {
+							opt := Options{Strategy: strat, BooleanCut: cut, ReorderJoins: reorder, Trace: true}
+							if strat == Parallel {
+								opt.Workers = 4
+							}
+							res, err := Eval(p, db, opt)
+							if err != nil {
+								t.Fatalf("trial %d refcheck strat=%d cut=%v reorder=%v: %v\n%s",
+									trial, strat, cut, reorder, err, src)
+							}
+							if got := fmt.Sprint(res.Answers(p.Query)); got != refAnswers {
+								t.Fatalf("trial %d refcheck strat=%d: answers diverge\ngot: %s\nref: %s\n%s",
+									trial, strat, got, refAnswers, src)
+							}
+							if res.Stats != sn.Stats {
+								t.Fatalf("trial %d refcheck strat=%d: stats diverge\nmirror: %+v\nplain:  %+v\n%s",
+									trial, strat, res.Stats, sn.Stats, src)
+							}
+							if !reflect.DeepEqual(res.Trace, sn.Trace) {
+								t.Fatalf("trial %d refcheck strat=%d: trace diverges\n%s", trial, strat, src)
+							}
+							for key := range p.Derived {
+								a, b := orderedFacts(sn, key), orderedFacts(res, key)
+								if fmt.Sprint(a) != fmt.Sprint(b) {
+									t.Fatalf("trial %d refcheck strat=%d: %s insertion order diverges\nplain:  %v\nmirror: %v\n%s",
+										trial, strat, key, a, b, src)
+								}
+							}
+						}
+					}()
+				}
 			}
 		}
 	}

@@ -165,7 +165,7 @@ type Result struct {
 	// Options.Trace set (nil otherwise). On partial runs the per-rule
 	// counters still partition Stats exactly.
 	Trace *trace.Metrics
-	prov  map[string]map[string]Justification
+	prov  map[string]*provSet
 }
 
 // builtinKind enumerates the arithmetic/comparison builtins available to
@@ -226,10 +226,17 @@ type version struct {
 	occ int
 }
 
-// emission is one buffered head derivation awaiting the merge barrier.
-type emission struct {
-	head Tuple
-	just []FactRef
+// emitBuf buffers one rule version's head derivations awaiting the merge
+// barrier, as one flat head-width-strided []int32 (head i occupies
+// heads[i*w:(i+1)*w]) — a version emitting thousands of heads costs a few
+// amortized slice growths, not an allocation per derivation. n counts
+// emissions explicitly because zero-arity heads contribute no int32s.
+// justs is populated (parallel to emissions) only under TrackProvenance.
+type emitBuf struct {
+	heads []int32
+	w     int
+	n     int
+	justs [][]FactRef
 }
 
 type evaluator struct {
@@ -247,7 +254,7 @@ type evaluator struct {
 	deltas  map[string]*Relation
 	next    map[string]*Relation
 	stats   Stats
-	prov    map[string]map[string]Justification
+	prov    map[string]*provSet
 	// run is the runner used by the sequential evaluation paths (naive
 	// passes, Update, Retract); parallel passes build one runner per
 	// worker instead.
@@ -275,6 +282,10 @@ type runner struct {
 	colsBuf   [][]int
 	valsBuf   []Tuple
 	newlyBuf  [][]int
+	// headBuf is the emission-site scratch tuple: every emit callback
+	// either copies it (arena insert, buffered append) or reads it before
+	// returning, so one buffer serves every emission of a rule version.
+	headBuf Tuple
 	// shard holds this goroutine's per-rule trace counters (firings, join
 	// probes); nil when tracing is disabled. It is drained into the
 	// collector only at pass barriers, on the coordinating goroutine.
@@ -463,7 +474,7 @@ func EvalContext(ctx context.Context, p *ast.Program, edb *Database, opt Options
 	ev.run = runner{ev: ev, stats: &ev.stats}
 	ev.baseFacts = ev.out.TotalFacts()
 	if opt.TrackProvenance {
-		ev.prov = make(map[string]map[string]Justification)
+		ev.prov = make(map[string]*provSet)
 	}
 	ev.initTrace(p)
 	if err := ev.compile(p); err != nil {
@@ -789,7 +800,10 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			if err := r.tick(); err != nil {
 				return err
 			}
-			head := make(Tuple, len(plan.head))
+			if cap(r.headBuf) < len(plan.head) {
+				r.headBuf = make(Tuple, len(plan.head))
+			}
+			head := r.headBuf[:len(plan.head)]
 			for i, a := range plan.head {
 				if a.isConst {
 					head[i] = a.constID
@@ -831,7 +845,11 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			if err := r.tick(); err != nil {
 				return err
 			}
-			if len(rel.Match(cols, cvals)) == 0 {
+			matched := rel.Len() > 0
+			if len(cols) > 0 {
+				matched = len(rel.Match(cols, cvals)) > 0
+			}
+			if !matched {
 				if ev.opt.TrackProvenance {
 					r.bodyFacts[li] = FactRef{}
 				}
@@ -846,7 +864,19 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 		if err := r.tick(); err != nil {
 			return err
 		}
-		for _, ti := range rel.Match(cols, cvals) {
+		// An unconstrained literal scans the arena directly instead of
+		// asking Match to materialize an all-rows identity slice.
+		var bucket []int32
+		count := rel.Len()
+		if len(cols) > 0 {
+			bucket = rel.Match(cols, cvals)
+			count = len(bucket)
+		}
+		for bi := 0; bi < count; bi++ {
+			ti := bi
+			if bucket != nil {
+				ti = int(bucket[bi])
+			}
 			t := rel.Tuple(ti)
 			newly := r.newlyBuf[step][:0]
 			ok := true
@@ -962,14 +992,19 @@ func (r *runner) evalBuiltin(plan *rulePlan, lp *literalPlan, step int, vals []i
 // evalVersion runs one rule version to completion, buffering every head
 // derivation instead of inserting it. The buffer is merged later, on the
 // coordinating goroutine, in version order.
-func (r *runner) evalVersion(plan *rulePlan, occ int) ([]emission, error) {
-	var buf []emission
+func (r *runner) evalVersion(plan *rulePlan, occ int) (emitBuf, error) {
+	buf := emitBuf{w: len(plan.head)}
+	track := r.ev.opt.TrackProvenance
 	err := r.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
-		buf = append(buf, emission{head: t, just: just})
+		buf.heads = append(buf.heads, t...)
+		buf.n++
+		if track {
+			buf.justs = append(buf.justs, just)
+		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return emitBuf{}, err
 	}
 	return buf, nil
 }
@@ -979,14 +1014,14 @@ func (r *runner) evalVersion(plan *rulePlan, occ int) ([]emission, error) {
 // a parallel worker) is recovered into a stack-carrying *ierr.InternalError
 // instead of killing the goroutine, so the pass fails like any other
 // errored version — surfaced once, workers drained, partial result kept.
-func (r *runner) runVersion(plan *rulePlan, occ int) (buf []emission, err error) {
+func (r *runner) runVersion(plan *rulePlan, occ int) (buf emitBuf, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			buf, err = nil, ierr.New(rec)
+			buf, err = emitBuf{}, ierr.New(rec)
 		}
 	}()
 	if err := failpoint.Inject(FPWorker); err != nil {
-		return nil, err
+		return emitBuf{}, err
 	}
 	return r.evalVersion(plan, occ)
 }
@@ -1041,7 +1076,7 @@ func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, c
 	if ev.opt.TrackProvenance {
 		m, ok := ev.prov[plan.headKey]
 		if !ok {
-			m = make(map[string]Justification)
+			m = newProvSet()
 			ev.prov[plan.headKey] = m
 		}
 		kept := just[:0]
@@ -1050,7 +1085,7 @@ func (ev *evaluator) insertDerived(plan *rulePlan, head Tuple, just []FactRef, c
 				kept = append(kept, f)
 			}
 		}
-		m[tupleKey(head)] = Justification{Rule: plan.idx, Body: kept}
+		m.put(head, Justification{Rule: plan.idx, Body: kept})
 	}
 	return nil
 }
@@ -1088,7 +1123,7 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 	for _, v := range versions {
 		ev.joinOrder(ev.plans[v.pi], v.occ)
 	}
-	bufs := make([][]emission, len(versions))
+	bufs := make([]emitBuf, len(versions))
 	errs := make([]error, len(versions))
 	workers := 1
 	if ev.opt.Strategy == Parallel {
@@ -1183,8 +1218,14 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 			return errs[vi]
 		}
 		plan := ev.plans[v.pi]
-		for _, em := range bufs[vi] {
-			if err := ev.insertDerived(plan, em.head, em.just, collectNext); err != nil {
+		buf := &bufs[vi]
+		var just []FactRef
+		for i := 0; i < buf.n; i++ {
+			head := Tuple(buf.heads[i*buf.w : (i+1)*buf.w])
+			if buf.justs != nil {
+				just = buf.justs[i]
+			}
+			if err := ev.insertDerived(plan, head, just, collectNext); err != nil {
 				return err
 			}
 		}

@@ -385,6 +385,29 @@ func FuzzEval(f *testing.F) {
 					t.Fatalf("reorder=%v: answers diverge\n%s", reorder, src)
 				}
 			}
+			// ISSUE 8 satellite 3: one more SemiNaive run with the
+			// map-of-strings reference storage mirrored into every relation
+			// (refcheck.go panics on the first per-operation divergence;
+			// ierr.Rescue would surface it as an error and fail the
+			// (snErr==nil) comparison below). The mirror must not perturb
+			// results: Stats and insertion order stay bit-identical.
+			func() {
+				refCheckEnabled = true
+				defer func() { refCheckEnabled = false }()
+				chk, chkErr := Eval(p, db, snOpt)
+				if chkErr != nil {
+					t.Fatalf("reorder=%v: refcheck run failed: %v\n%s", reorder, chkErr, src)
+				}
+				if chk.Stats != sn.Stats {
+					t.Fatalf("reorder=%v: refcheck stats diverge\nmirror: %+v\nplain:  %+v\n%s",
+						reorder, chk.Stats, sn.Stats, src)
+				}
+				for key := range p.Derived {
+					if fmt.Sprint(orderedFacts(sn, key)) != fmt.Sprint(orderedFacts(chk, key)) {
+						t.Fatalf("reorder=%v: refcheck %s insertion order diverges\n%s", reorder, key, src)
+					}
+				}
+			}()
 			nvOpt := opt
 			nvOpt.Strategy = Naive
 			nv, nvErr := Eval(p, db, nvOpt)

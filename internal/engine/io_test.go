@@ -115,6 +115,69 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// restoredRows decodes a relation's tuples in arena (insertion) order —
+// Facts would sort and hide an order difference.
+func restoredRows(db *Database, key string) [][]string {
+	rel, ok := db.Lookup(key)
+	if !ok {
+		return nil
+	}
+	out := make([][]string, 0, rel.Len())
+	for i := 0; i < rel.Len(); i++ {
+		tpl := rel.Tuple(i)
+		row := make([]string, len(tpl))
+		for j, id := range tpl {
+			row[j] = db.Syms.Name(id)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// TestSnapshotRestoreRowOrder (ISSUE 8 satellite 4): ReadSnapshot feeds
+// the arena in stream order and the stream is sorted, so a restore's
+// insertion order is the sorted Facts order — independent of the order
+// the original database was built in, and identical across restores.
+// This is what lets checkpoint recovery rebuild arenas deterministically.
+// The collisions subtest repeats the round trip with fingerprints crushed
+// to four bits: the rebuilt arena's set/dedup behavior must stay exact.
+func TestSnapshotRestoreRowOrder(t *testing.T) {
+	run := func(t *testing.T) {
+		db := NewDatabase()
+		// Deliberately scrambled insertion order.
+		for _, r := range [][2]string{{"z", "9"}, {"a", "1"}, {"m", "5"}, {"a", "0"}, {"k", "7"}} {
+			db.Add("e", r[0], r[1])
+		}
+		db.Add("g", "x")
+		var sb strings.Builder
+		if err := db.WriteSnapshot(&sb); err != nil {
+			t.Fatal(err)
+		}
+		r1, err := ReadSnapshot(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := ReadSnapshot(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range db.Keys() {
+			sorted := fmt.Sprint(db.Facts(key))
+			a, b := fmt.Sprint(restoredRows(r1, key)), fmt.Sprint(restoredRows(r2, key))
+			if a != sorted {
+				t.Errorf("%s: restored arena order %s, want sorted order %s", key, a, sorted)
+			}
+			if a != b {
+				t.Errorf("%s: two restores disagree on row order: %s vs %s", key, a, b)
+			}
+		}
+	}
+	t.Run("plain", run)
+	t.Run("collisions", func(t *testing.T) {
+		withFPMask(t, 0xF, func() { run(t) })
+	})
+}
+
 func TestSnapshotTruncationDetected(t *testing.T) {
 	db := NewDatabase()
 	db.Add("e", "a", "b")

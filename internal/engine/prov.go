@@ -1,0 +1,72 @@
+package engine
+
+// provSet maps derived tuples to their recorded Justification. It replaced
+// a map keyed on string-encoded tuples: entries chain off the tuple
+// fingerprint and are verified by exact row comparison, so fingerprint
+// collisions cost a short scan, never a wrong answer. Provenance is a
+// cold path (TrackProvenance only), but it must respect the same exact
+// set semantics as the arena.
+type provSet struct {
+	m map[uint64][]provEntry
+}
+
+type provEntry struct {
+	row Tuple
+	j   Justification
+}
+
+func newProvSet() *provSet {
+	return &provSet{m: make(map[uint64][]provEntry)}
+}
+
+// put records j for t, overwriting any existing entry (the seed stored
+// into a plain map; in practice insertDerived only records justifications
+// for newly derived facts, so the overwrite never fires).
+func (p *provSet) put(t Tuple, j Justification) {
+	fp := fingerprint(t)
+	for i, e := range p.m[fp] {
+		if tupleEq(e.row, t) {
+			p.m[fp][i].j = j
+			return
+		}
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	p.m[fp] = append(p.m[fp], provEntry{row: cp, j: j})
+}
+
+// get returns the justification recorded for t.
+func (p *provSet) get(t Tuple) (Justification, bool) {
+	for _, e := range p.m[fingerprint(t)] {
+		if tupleEq(e.row, t) {
+			return e.j, true
+		}
+	}
+	return Justification{}, false
+}
+
+// del removes t's entry if present.
+func (p *provSet) del(t Tuple) {
+	fp := fingerprint(t)
+	es := p.m[fp]
+	for i, e := range es {
+		if tupleEq(e.row, t) {
+			es = append(es[:i], es[i+1:]...)
+			if len(es) == 0 {
+				delete(p.m, fp)
+			} else {
+				p.m[fp] = es
+			}
+			return
+		}
+	}
+}
+
+// clone deep-copies the chain map; entries are immutable and shared.
+func (p *provSet) clone() *provSet {
+	c := newProvSet()
+	for fp, es := range p.m {
+		c.m[fp] = append([]provEntry(nil), es...)
+	}
+	return c
+}

@@ -17,12 +17,13 @@ func (res *Result) Answers(q ast.Atom) [][]string {
 	if !ok {
 		return nil
 	}
+	if rel.Arity() != len(q.Args) {
+		return nil
+	}
 	firstSlot := make(map[string]int)
 	var out [][]string
-	for _, t := range rel.Tuples() {
-		if len(t) != len(q.Args) {
-			continue
-		}
+	for ti := 0; ti < rel.Len(); ti++ {
+		t := rel.Tuple(ti)
 		ok := true
 		for k := range firstSlot {
 			delete(firstSlot, k)
@@ -138,7 +139,7 @@ func (res *Result) RowStrings(row Tuple) []string {
 func (res *Result) buildTree(f FactRef) *Tree {
 	if res.prov != nil {
 		if m, ok := res.prov[f.Key]; ok {
-			if j, ok := m[tupleKey(f.Row)]; ok {
+			if j, ok := m.get(f.Row); ok {
 				node := &Tree{Fact: f, Rule: j.Rule}
 				for _, b := range j.Body {
 					node.Children = append(node.Children, res.buildTree(b))

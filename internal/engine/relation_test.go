@@ -101,7 +101,10 @@ func TestRelationMatchProperty(t *testing.T) {
 			cols = cols[:1]
 			vals = vals[:1]
 		}
-		got := append([]int(nil), r.Match(cols, vals)...)
+		var got []int
+		for _, ti := range r.Match(cols, vals) {
+			got = append(got, int(ti))
+		}
 		sort.Ints(got)
 		var want []int
 		for i, tpl := range r.Tuples() {

@@ -66,13 +66,9 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 	}
 	ev.run = runner{ev: ev, stats: &ev.stats}
 	if opt.TrackProvenance {
-		ev.prov = make(map[string]map[string]Justification)
+		ev.prov = make(map[string]*provSet)
 		for k, m := range prev.prov {
-			cp := make(map[string]Justification, len(m))
-			for fk, j := range m {
-				cp[fk] = j
-			}
-			ev.prov[k] = cp
+			ev.prov[k] = m.clone()
 		}
 	}
 	ev.initTrace(p)
@@ -80,20 +76,18 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 		return nil, err
 	}
 
-	// Dead set, seeded with the removed base facts that actually exist.
-	dead := map[string]map[string]bool{} // key -> tupleKey -> true
+	// Dead sets, seeded with the removed base facts that actually exist.
+	// They are Relations: the arena's verified set semantics (Insert
+	// reports newness, Contains is exact under fingerprint collisions)
+	// are exactly what marking needs.
+	dead := map[string]*Relation{}
 	markDead := func(key string, t Tuple) bool {
 		m, ok := dead[key]
 		if !ok {
-			m = map[string]bool{}
+			m = NewRelation(len(t))
 			dead[key] = m
 		}
-		tk := tupleKey(t)
-		if m[tk] {
-			return false
-		}
-		m[tk] = true
-		return true
+		return m.Insert(t)
 	}
 	for _, key := range removed.Keys() {
 		rel, _ := removed.Lookup(key)
@@ -197,16 +191,17 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 			continue
 		}
 		fresh := NewRelation(old.Arity())
-		for _, t := range old.Tuples() {
-			if !dm[tupleKey(t)] {
+		for ti := 0; ti < old.Len(); ti++ {
+			t := old.Tuple(ti)
+			if !dm.Contains(t) {
 				fresh.Insert(t)
 			}
 		}
 		ev.out.Replace(key, fresh)
 		if ev.prov != nil {
 			if m, ok := ev.prov[key]; ok {
-				for tk := range dm {
-					delete(m, tk)
+				for ti := 0; ti < dm.Len(); ti++ {
+					m.del(dm.Tuple(ti))
 				}
 			}
 		}
@@ -226,7 +221,7 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 			continue
 		}
 		err := ev.run.evalRule(plan, -1, func(t Tuple, just []FactRef) error {
-			if !dm[tupleKey(t)] {
+			if !dm.Contains(t) {
 				return nil // still present; nothing to re-derive
 			}
 			if err := ev.insertDerived(plan, t, just, true); err != nil {

@@ -23,6 +23,10 @@ type Symbols struct {
 	mu    sync.RWMutex
 	names []string
 	ids   map[string]int32
+	// shared marks names/ids as referenced by a Clone sibling; the next
+	// Intern that would mutate them copies first. A shared map is never
+	// written, so clones may read it concurrently under their own locks.
+	shared bool
 }
 
 // NewSymbols returns a fresh interner with "_" pre-interned as id 0.
@@ -44,6 +48,15 @@ func (s *Symbols) Intern(name string) int32 {
 	defer s.mu.Unlock()
 	if id, ok := s.ids[name]; ok {
 		return id
+	}
+	if s.shared {
+		ids := make(map[string]int32, len(s.ids)+1)
+		for k, v := range s.ids {
+			ids[k] = v
+		}
+		s.ids = ids
+		s.names = append(make([]string, 0, len(s.names)+8), s.names...)
+		s.shared = false
 	}
 	id = int32(len(s.names))
 	s.names = append(s.names, name)
@@ -73,16 +86,12 @@ func (s *Symbols) Len() int {
 	return len(s.names)
 }
 
-// Clone returns an independent copy of the interner.
+// Clone returns an independent copy of the interner, copy-on-write: both
+// sides share names/ids until one interns a new constant, which copies
+// its view first. Clone is O(1) instead of O(#constants).
 func (s *Symbols) Clone() *Symbols {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c := &Symbols{
-		names: append([]string(nil), s.names...),
-		ids:   make(map[string]int32, len(s.ids)),
-	}
-	for k, v := range s.ids {
-		c.ids[k] = v
-	}
-	return c
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shared = true
+	return &Symbols{names: s.names, ids: s.ids, shared: true}
 }

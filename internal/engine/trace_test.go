@@ -295,15 +295,17 @@ func TestTraceIncrementalPartition(t *testing.T) {
 
 // --- zero-cost-when-off regression (ISSUE 3 satellite 3) ---------------
 
-// Seed baselines, measured on the pre-trace engine (commit a00edc9) with
-// exactly these fixtures: Eval(tcSrc, chainDB(30)) = 7828 allocs, the
-// probe-heavy join below = 8136. The limits leave ~10% headroom for
-// incidental runtime variation; a tracing-induced per-fact or per-probe
-// allocation would blow through them (the chain run alone makes tens of
-// thousands of probe and emit calls).
+// Arena baselines, re-pinned after the columnar storage rewrite (ISSUE 8)
+// with exactly these fixtures: Eval(tcSrc, chainDB(30)) = 1715 allocs
+// (seed: 7828), the probe-heavy join below = 154 (seed: 8136) — the
+// per-tuple copies, string keys, and per-emission head allocations are
+// gone, so what remains is per-pass bookkeeping. The limits leave ~10%
+// headroom for incidental runtime variation; reintroducing a per-fact,
+// per-probe, or per-emission allocation would blow through them (the
+// chain run alone makes tens of thousands of probe and emit calls).
 const (
-	seedChainAllocLimit = 8600
-	seedProbeAllocLimit = 8950
+	seedChainAllocLimit = 1900
+	seedProbeAllocLimit = 180
 )
 
 const probeSrc = `

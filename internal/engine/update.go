@@ -64,13 +64,9 @@ func UpdateContext(ctx context.Context, p *ast.Program, prev *Result, added *Dat
 	}
 	ev.run = runner{ev: ev, stats: &ev.stats}
 	if opt.TrackProvenance {
-		ev.prov = make(map[string]map[string]Justification)
+		ev.prov = make(map[string]*provSet)
 		for k, m := range prev.prov {
-			cp := make(map[string]Justification, len(m))
-			for fk, j := range m {
-				cp[fk] = j
-			}
-			ev.prov[k] = cp
+			ev.prov[k] = m.clone()
 		}
 	}
 	ev.initTrace(p)
