@@ -15,6 +15,7 @@ import (
 
 	"existdlog/internal/harness"
 	"existdlog/internal/server"
+	"existdlog/internal/tracespan"
 	"existdlog/internal/workload"
 )
 
@@ -128,6 +129,7 @@ func cmdLoadgen(args []string) error {
 	samples, elapsed := runTrace(ctx, client, tr, workload.RealClock{}, *reqTimeout)
 
 	rep := harness.BuildLoadReport(tr, samples, elapsed, reportRev(*rev), time.Now(), slo)
+	resolveExemplars(client, rep)
 	harness.WriteLoadTable(os.Stdout, rep)
 
 	if *out != "-" {
@@ -177,10 +179,15 @@ func runTrace(ctx context.Context, client *server.Client, tr *workload.Trace, cl
 		wg.Add(1)
 		go func(i int, req workload.Request) {
 			defer wg.Done()
+			// Pin a deterministic trace id so the sample can be joined to
+			// the server's flight recorder (and to a replayed run's
+			// samples) after the fact.
+			tid := tracespan.TraceID(tr.TraceIDFor(i))
+			rctx := tracespan.ContextWithTrace(ctx, tid)
 			t0 := clock.Now()
 			var outcome string
 			if req.Class.Mutation() {
-				res, err := client.Mutate(ctx, string(req.Class), req.Facts, reqTimeout)
+				res, err := client.Mutate(rctx, string(req.Class), req.Facts, reqTimeout)
 				switch {
 				case err == nil && rejectedStatus(res.Status):
 					outcome = "rejected"
@@ -190,7 +197,7 @@ func runTrace(ctx context.Context, client *server.Client, tr *workload.Trace, cl
 					outcome = "ok"
 				}
 			} else {
-				res, err := client.Query(ctx, req.Goal, reqTimeout)
+				res, err := client.Query(rctx, req.Goal, reqTimeout)
 				switch {
 				case err == nil && rejectedStatus(res.Status):
 					outcome = "rejected"
@@ -202,7 +209,7 @@ func runTrace(ctx context.Context, client *server.Client, tr *workload.Trace, cl
 					outcome = "ok"
 				}
 			}
-			samples[i] = harness.LoadSample{Class: req.Class, Latency: clock.Now().Sub(t0), Outcome: outcome}
+			samples[i] = harness.LoadSample{Class: req.Class, Latency: clock.Now().Sub(t0), Outcome: outcome, TraceID: tid.String()}
 		}(i, req)
 	}
 	wg.Wait()
@@ -227,6 +234,43 @@ func waitUntil(ctx context.Context, clock workload.Clock, start time.Time, offse
 		}
 		clock.Sleep(wait)
 	}
+}
+
+// resolveExemplars fills each report exemplar's span tree from the
+// served instance's flight recorder, joining on the deterministic trace
+// ids the runner pinned. Best-effort by design: a disabled recorder
+// (404) or an already-evicted entry leaves Trace nil, and the report is
+// still valid — the trace id alone is enough to grep server logs.
+// It uses a fresh context so a Ctrl-C'd run still resolves what it can.
+func resolveExemplars(client *server.Client, rep *harness.LoadReport) {
+	if len(rep.Exemplars) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	reqs, err := client.DebugRequests(ctx, 0)
+	if err != nil {
+		fmt.Printf("flight recorder unavailable (%v); exemplar span trees omitted\n", err)
+		return
+	}
+	byTrace := map[string]*tracespan.Request{}
+	for _, r := range reqs {
+		// The snapshot is newest-first; for a retried mutation the newest
+		// server-side entry is the attempt that finally succeeded.
+		if _, ok := byTrace[r.TraceID]; !ok {
+			byTrace[r.TraceID] = r
+		}
+	}
+	resolved := 0
+	for i := range rep.Exemplars {
+		ex := &rep.Exemplars[i]
+		if r, ok := byTrace[ex.TraceID]; ok {
+			ex.Trace = r
+			ex.StageCoverage = r.StageCoverage()
+			resolved++
+		}
+	}
+	fmt.Printf("resolved %d/%d exemplar span trees from /debug/requests\n", resolved, len(rep.Exemplars))
 }
 
 // rejectedStatus reports whether a response means the server refused
@@ -264,8 +308,17 @@ func checkReport(path string) error {
 	if err != nil {
 		return fmt.Errorf("loadgen: %s: %w", path, err)
 	}
+	embedded := 0
+	for _, ex := range rep.Exemplars {
+		if ex.Trace != nil {
+			embedded++
+		}
+	}
 	fmt.Printf("%s: valid %s report (scenario %s, %d scheduled, %d issued, digest %s)\n",
 		path, rep.Schema, rep.Scenario, rep.Schedule.Requests, rep.Results.Issued, rep.Schedule.Digest)
+	if len(rep.Exemplars) > 0 {
+		fmt.Printf("%s: %d exemplars, %d with validated span trees\n", path, len(rep.Exemplars), embedded)
+	}
 	return nil
 }
 

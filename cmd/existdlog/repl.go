@@ -293,18 +293,18 @@ func (s *replSession) query(goal string) error {
 	s.lastGoal = goal
 	prog, db, err := s.program(goal)
 	if err != nil {
-		s.registry().ObserveError(time.Since(start))
+		s.registry().ObserveError(time.Since(start), "")
 		return err
 	}
 	target := prog
 	if s.optimize {
 		res, err := existdlog.Optimize(prog, existdlog.DefaultOptions())
 		if err != nil {
-			s.registry().ObserveError(time.Since(start))
+			s.registry().ObserveError(time.Since(start), "")
 			return err
 		}
 		if res.EmptyAnswer {
-			s.registry().ObserveQuery(existdlog.Stats{}, nil, time.Since(start), obs.OutcomeOK)
+			s.registry().ObserveQuery(existdlog.Stats{}, nil, time.Since(start), obs.OutcomeOK, "")
 			fmt.Fprintln(s.out, "no (proved empty at compile time)")
 			return nil
 		}
@@ -321,7 +321,7 @@ func (s *replSession) query(goal string) error {
 	interrupted := false
 	if err != nil {
 		if !errors.Is(err, existdlog.ErrCanceled) || res == nil || !res.Partial {
-			s.registry().ObserveError(time.Since(start))
+			s.registry().ObserveError(time.Since(start), "")
 			return err
 		}
 		interrupted = true
@@ -330,7 +330,7 @@ func (s *replSession) query(goal string) error {
 	if res.Partial {
 		outcome = obs.OutcomePartial
 	}
-	s.registry().ObserveQuery(res.Stats, res.Trace, time.Since(start), outcome)
+	s.registry().ObserveQuery(res.Stats, res.Trace, time.Since(start), outcome, "")
 	s.lastProg, s.lastResult = target, res
 	answers := res.Answers(target.Query)
 	if len(answers) == 0 && !interrupted {

@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -42,6 +43,8 @@ func cmdServe(args []string) error {
 	drainGrace := fs.Duration("drain", 5*time.Second, "shutdown grace before in-flight queries are aborted")
 	walDir := fs.String("wal", "", "directory for the durable write-ahead log and checkpoints (empty = mutations are memory-only)")
 	snapshotEvery := fs.Int("snapshot-every", 1024, "checkpoint the store after this many logged mutations (0 = never; needs -wal)")
+	flightSize := fs.Int("flight-recorder", 1024, "completed requests kept in the /debug/requests ring buffer (0 = tracing off)")
+	slowQuery := fs.Duration("slow-query", 0, "log a structured span breakdown for any request slower than this (0 = off)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("serve: expected one program file")
@@ -67,11 +70,14 @@ func cmdServe(args []string) error {
 		Logger:         logger,
 		WALDir:         *walDir,
 		SnapshotEvery:  *snapshotEvery,
+		FlightSize:     *flightSize,
+		SlowQuery:      *slowQuery,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	srv.Registry().SetBuildInfo(buildVersion(), runtime.Version(), reportRev(""))
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -118,6 +124,15 @@ func cmdServe(args []string) error {
 
 	logFinalSnapshot(logger, srv.Registry().Snapshot())
 	return nil
+}
+
+// buildVersion resolves the module version Go embedded at build time;
+// source builds report "devel".
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }
 
 // logFinalSnapshot flushes the lifetime metrics as one structured log

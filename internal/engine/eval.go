@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"existdlog/internal/ast"
 	"existdlog/internal/failpoint"
@@ -78,6 +79,13 @@ type Options struct {
 	// exactly. Disabled (the default), the evaluation hot path performs no
 	// extra allocations — only nil checks.
 	Trace bool
+	// PassTimes additionally records, in Result.PassTimes, the wall-clock
+	// offset (from evaluation start, real monotonic clock) at which each
+	// pass barrier completed — one entry per pass, aligned with
+	// Trace.Passes when Trace is also set. Request tracing uses this to
+	// graft per-pass spans into a request's span tree. Off (the default),
+	// the pass barrier performs no clock reads.
+	PassTimes bool
 }
 
 // ErrFactLimit is returned when MaxFacts is exceeded.
@@ -165,7 +173,12 @@ type Result struct {
 	// Options.Trace set (nil otherwise). On partial runs the per-rule
 	// counters still partition Stats exactly.
 	Trace *trace.Metrics
-	prov  map[string]*provSet
+	// PassTimes, under Options.PassTimes, holds the wall-clock offset
+	// from evaluation start at which each pass barrier completed
+	// (monotonically increasing; pass i ran in the interval
+	// [PassTimes[i-1], PassTimes[i]], with PassTimes[-1] taken as 0).
+	PassTimes []time.Duration
+	prov      map[string]*provSet
 }
 
 // builtinKind enumerates the arithmetic/comparison builtins available to
@@ -266,6 +279,11 @@ type evaluator struct {
 	// tracing is disabled, which reduces every instrumentation site to one
 	// nil comparison.
 	tc *trace.Collector
+	// passClock anchors Options.PassTimes offsets; zero when disabled,
+	// reducing every barrier to one IsZero check. passTimes accumulates
+	// the per-barrier completion offsets.
+	passClock time.Time
+	passTimes []time.Duration
 }
 
 // runner is the per-goroutine evaluation state: the join recursion's
@@ -360,7 +378,7 @@ func incompleteReason(err error) string {
 // Stats exactly describing it — alongside the error, so callers can use
 // the prefix (graceful degradation) or discard it.
 func (ev *evaluator) finish(evalErr error) (*Result, error) {
-	res := &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov}
+	res := &Result{DB: ev.out, Stats: ev.stats, prov: ev.prov, PassTimes: ev.passTimes}
 	if ev.tc != nil {
 		// Final drain of the sequential runner's shard (Update/Retract
 		// loops and naive tails that did not end on a traced barrier).
@@ -417,7 +435,9 @@ func (ev *evaluator) deltaSizes() []trace.DeltaSize {
 // SemiNaive's.
 func (ev *evaluator) tracedPass(vs []version, collectNext bool, stratum int) error {
 	if ev.tc == nil {
-		return ev.runPass(vs, collectNext)
+		err := ev.runPass(vs, collectNext)
+		ev.markPass()
+		return err
 	}
 	deltas := ev.deltaSizes()
 	before := ev.stats.FactsDerived
@@ -427,7 +447,17 @@ func (ev *evaluator) tracedPass(vs []version, collectNext bool, stratum int) err
 		Pass: ev.stats.Iterations, Stratum: stratum, Versions: len(vs),
 		Facts: ev.stats.FactsDerived - before, Deltas: deltas,
 	})
+	ev.markPass()
 	return err
+}
+
+// markPass records the wall-clock offset of a completed pass barrier
+// under Options.PassTimes (one IsZero branch when disabled).
+func (ev *evaluator) markPass() {
+	if ev.passClock.IsZero() {
+		return
+	}
+	ev.passTimes = append(ev.passTimes, time.Since(ev.passClock))
 }
 
 // Eval evaluates program p bottom-up over the extensional database edb and
@@ -473,6 +503,9 @@ func EvalContext(ctx context.Context, p *ast.Program, edb *Database, opt Options
 	}
 	ev.run = runner{ev: ev, stats: &ev.stats}
 	ev.baseFacts = ev.out.TotalFacts()
+	if opt.PassTimes {
+		ev.passClock = time.Now()
+	}
 	if opt.TrackProvenance {
 		ev.prov = make(map[string]*provSet)
 	}
@@ -1283,6 +1316,7 @@ func (ev *evaluator) runNaiveStratum(level int) error {
 				Facts: ev.stats.FactsDerived - before,
 			})
 		}
+		ev.markPass()
 		if evalErr != nil {
 			return evalErr
 		}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"existdlog/internal/obs"
+	"existdlog/internal/tracespan"
 	"existdlog/internal/workload"
 )
 
@@ -25,6 +26,26 @@ type LoadSample struct {
 	// draining, or degraded mode), or "skipped" (scheduled but never
 	// issued because the run was cancelled).
 	Outcome string
+	// TraceID is the trace id the runner pinned on the request (hex),
+	// empty when the runner did not propagate one. It links the sample to
+	// the server's flight recorder for exemplar resolution.
+	TraceID string
+}
+
+// ExemplarRef names one concrete request behind a latency quantile: the
+// worst offender the report's summary statistics would otherwise hide.
+// Trace is the server-side span tree for that request, resolved from
+// the flight recorder after the run (nil when the recorder was disabled
+// or had already evicted it); StageCoverage is the resolved tree's
+// stage-sum over its measured duration.
+type ExemplarRef struct {
+	// Class is empty for the overall distribution.
+	Class          workload.Class     `json:"class,omitempty"`
+	Quantile       float64            `json:"quantile"`
+	LatencySeconds float64            `json:"latency_seconds"`
+	TraceID        string             `json:"trace_id"`
+	Trace          *tracespan.Request `json:"trace,omitempty"`
+	StageCoverage  float64            `json:"stage_coverage,omitempty"`
 }
 
 // PeriodSummary is one arrival period in report units.
@@ -108,6 +129,9 @@ type LoadReport struct {
 	Schedule    ScheduleSummary `json:"schedule"`
 	Results     LoadResults     `json:"results"`
 	SLO         []SLOResult     `json:"slo,omitempty"`
+	// Exemplars link the report's tail quantiles to the concrete requests
+	// behind them. Present only when the runner propagated trace ids.
+	Exemplars []ExemplarRef `json:"exemplars,omitempty"`
 }
 
 // quantile looks up a latency quantile for Evaluate: overall when class
@@ -168,6 +192,10 @@ func BuildLoadReport(tr *workload.Trace, samples []LoadSample, elapsed time.Dura
 	overall := obs.NewHistogram(obs.LatencyBuckets()...)
 	hists := map[workload.Class]*obs.Histogram{}
 	results := map[workload.Class]*ClassResult{}
+	// Served samples that carry a trace id, kept per class and overall so
+	// the p99 rows can be resolved to the concrete requests behind them.
+	traced := map[workload.Class][]LoadSample{}
+	var tracedAll []LoadSample
 	for _, s := range samples {
 		cr, ok := results[s.Class]
 		if !ok {
@@ -201,6 +229,10 @@ func BuildLoadReport(tr *workload.Trace, samples []LoadSample, elapsed time.Dura
 		rep.Results.Issued++
 		hists[s.Class].ObserveDuration(s.Latency)
 		overall.ObserveDuration(s.Latency)
+		if s.TraceID != "" {
+			traced[s.Class] = append(traced[s.Class], s)
+			tracedAll = append(tracedAll, s)
+		}
 	}
 	for _, class := range workload.Classes {
 		if cs, ok := sched[class]; ok {
@@ -220,6 +252,15 @@ func BuildLoadReport(tr *workload.Trace, samples []LoadSample, elapsed time.Dura
 		P95: snap.QuantileDuration(0.95),
 		P99: snap.QuantileDuration(0.99),
 	}
+	if ex := pickExemplar(tracedAll, rep.Results.Overall.P99); ex != nil {
+		rep.Exemplars = append(rep.Exemplars, *ex)
+	}
+	for _, cr := range rep.Results.Classes {
+		if ex := pickExemplar(traced[cr.Class], cr.P99); ex != nil {
+			ex.Class = cr.Class
+			rep.Exemplars = append(rep.Exemplars, *ex)
+		}
+	}
 	rep.Results.ElapsedSeconds = elapsed.Seconds()
 	if elapsed > 0 {
 		rep.Results.ThroughputRPS = float64(rep.Results.Issued) / elapsed.Seconds()
@@ -229,6 +270,36 @@ func BuildLoadReport(tr *workload.Trace, samples []LoadSample, elapsed time.Dura
 		rep.SLO = slo.Evaluate(rep)
 	}
 	return rep
+}
+
+// pickExemplar resolves the traced sample behind a quantile estimate:
+// the slowest-but-one request at or above it — the cheapest request the
+// estimator counted toward the tail — falling back to the slowest traced
+// sample when the interpolated estimate overshoots every observation.
+// Nil when no served sample carried a trace id.
+func pickExemplar(samples []LoadSample, q time.Duration) *ExemplarRef {
+	var best *LoadSample
+	var worst *LoadSample
+	for i := range samples {
+		s := &samples[i]
+		if worst == nil || s.Latency > worst.Latency {
+			worst = s
+		}
+		if s.Latency >= q && (best == nil || s.Latency < best.Latency) {
+			best = s
+		}
+	}
+	if best == nil {
+		best = worst
+	}
+	if best == nil {
+		return nil
+	}
+	return &ExemplarRef{
+		Quantile:       0.99,
+		LatencySeconds: best.Latency.Seconds(),
+		TraceID:        best.TraceID,
+	}
 }
 
 // Validate checks a report's internal consistency: the schema version,
@@ -262,6 +333,25 @@ func (r *LoadReport) Validate() error {
 	for _, c := range r.Results.Classes {
 		if got := c.OK + c.Partial + c.Errors + c.Rejected; got != c.Issued {
 			return fmt.Errorf("loadreport: class %s outcomes %d do not partition issued %d", c.Class, got, c.Issued)
+		}
+	}
+	for i, ex := range r.Exemplars {
+		if ex.TraceID == "" {
+			return fmt.Errorf("loadreport: exemplar %d has no trace id", i)
+		}
+		if ex.Trace == nil {
+			continue
+		}
+		if ex.Trace.TraceID != ex.TraceID {
+			return fmt.Errorf("loadreport: exemplar %d trace id %s does not match embedded span tree %s",
+				i, ex.TraceID, ex.Trace.TraceID)
+		}
+		if err := ex.Trace.Validate(); err != nil {
+			return fmt.Errorf("loadreport: exemplar %d (%s): %w", i, ex.TraceID, err)
+		}
+		if got := ex.Trace.StageCoverage(); got < ex.StageCoverage-1e-9 || got > ex.StageCoverage+1e-9 {
+			return fmt.Errorf("loadreport: exemplar %d (%s): stage coverage %.6f does not match span tree %.6f",
+				i, ex.TraceID, ex.StageCoverage, got)
 		}
 	}
 	return nil
@@ -324,6 +414,20 @@ func WriteLoadTable(w io.Writer, rep *LoadReport) {
 	fmt.Fprintf(w, "throughput: %.4g rps issued over %.4gs\n", o.ThroughputRPS, o.ElapsedSeconds)
 	if o.Rejected > 0 {
 		fmt.Fprintf(w, "goodput: %.4g rps ok (%d rejected before evaluation)\n", o.GoodputRPS, o.Rejected)
+	}
+	if len(rep.Exemplars) > 0 {
+		fmt.Fprintf(w, "p99 exemplars:\n")
+		for _, ex := range rep.Exemplars {
+			class := "overall"
+			if ex.Class != "" {
+				class = string(ex.Class)
+			}
+			line := fmt.Sprintf("  %-10s %8.3fms trace %s", class, ex.LatencySeconds*1e3, ex.TraceID)
+			if ex.Trace != nil {
+				line += fmt.Sprintf(" (%d spans, %.0f%% staged)", len(ex.Trace.Spans), ex.StageCoverage*100)
+			}
+			fmt.Fprintln(w, line)
+		}
 	}
 	if len(rep.SLO) > 0 {
 		verdict := "PASS"

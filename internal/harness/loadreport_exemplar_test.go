@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"existdlog/internal/tracespan"
+	"existdlog/internal/workload"
+)
+
+// tracedSamples builds a deterministic sample set where every served
+// request carries a trace id derived from its index.
+func tracedSamples(tr *workload.Trace) []LoadSample {
+	samples := make([]LoadSample, len(tr.Requests))
+	for i, req := range tr.Requests {
+		tid := tracespan.TraceID(tr.TraceIDFor(i))
+		samples[i] = LoadSample{
+			Class:   req.Class,
+			Latency: time.Duration(i%23+1) * 700 * time.Microsecond,
+			Outcome: "ok",
+			TraceID: tid.String(),
+		}
+	}
+	return samples
+}
+
+func TestBuildLoadReportExemplars(t *testing.T) {
+	tr := workload.Scenarios["mixed"].Generate(7, 4*time.Second, 0)
+	samples := tracedSamples(tr)
+	rep := BuildLoadReport(tr, samples, 4*time.Second, "rev", time.Unix(1754500000, 0).UTC(), nil)
+
+	if len(rep.Exemplars) == 0 {
+		t.Fatal("traced samples produced no exemplars")
+	}
+	// One overall exemplar (empty class) plus one per measured class.
+	if rep.Exemplars[0].Class != "" {
+		t.Errorf("first exemplar class = %q, want the overall row", rep.Exemplars[0].Class)
+	}
+	if want := 1 + len(rep.Results.Classes); len(rep.Exemplars) != want {
+		t.Errorf("%d exemplars, want %d (overall + per class)", len(rep.Exemplars), want)
+	}
+	byTrace := map[string]LoadSample{}
+	for _, s := range samples {
+		byTrace[s.TraceID] = s
+	}
+	for _, ex := range rep.Exemplars {
+		s, ok := byTrace[ex.TraceID]
+		if !ok {
+			t.Errorf("exemplar trace id %s matches no sample", ex.TraceID)
+			continue
+		}
+		if ex.Quantile != 0.99 {
+			t.Errorf("exemplar quantile = %v, want 0.99", ex.Quantile)
+		}
+		if ex.LatencySeconds != s.Latency.Seconds() {
+			t.Errorf("exemplar latency %v does not match its sample's %v", ex.LatencySeconds, s.Latency)
+		}
+		if ex.Class != "" && ex.Class != s.Class {
+			t.Errorf("exemplar class %s resolved to a %s sample", ex.Class, s.Class)
+		}
+		// The exemplar must actually sit in the class's tail: at or above
+		// the estimated p99, or be the slowest traced sample.
+		if ex.Class != "" {
+			p99 := rep.quantile(string(ex.Class), 0.99)
+			var max time.Duration
+			for _, o := range samples {
+				if o.Class == s.Class && o.Latency > max {
+					max = o.Latency
+				}
+			}
+			if s.Latency < p99 && s.Latency != max {
+				t.Errorf("class %s exemplar latency %v is below p99 %v and not the max %v",
+					ex.Class, s.Latency, p99, max)
+			}
+		}
+	}
+	if err := rep.Validate(); err != nil {
+		t.Errorf("report with exemplars fails validation: %v", err)
+	}
+}
+
+func TestLoadReportNoTraceIDsNoExemplars(t *testing.T) {
+	tr := workload.Scenarios["mixed"].Generate(7, 2*time.Second, 0)
+	samples := make([]LoadSample, len(tr.Requests))
+	for i, req := range tr.Requests {
+		samples[i] = LoadSample{Class: req.Class, Latency: time.Millisecond, Outcome: "ok"}
+	}
+	rep := BuildLoadReport(tr, samples, 2*time.Second, "rev", time.Unix(1754500000, 0).UTC(), nil)
+	if len(rep.Exemplars) != 0 {
+		t.Fatalf("untraced run produced %d exemplars, want none", len(rep.Exemplars))
+	}
+	var buf bytes.Buffer
+	if err := WriteLoadJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "exemplars") {
+		t.Error("untraced report still serializes an exemplars field")
+	}
+}
+
+func TestLoadReportExemplarRoundTripAndValidation(t *testing.T) {
+	tr := workload.Scenarios["mixed"].Generate(7, 2*time.Second, 0)
+	rep := BuildLoadReport(tr, tracedSamples(tr), 2*time.Second, "rev", time.Unix(1754500000, 0).UTC(), nil)
+
+	// Embed a span tree on the first exemplar, the way loadgen does
+	// after resolving it from /debug/requests.
+	rec := tracespan.NewRecorder(16)
+	tid, _ := tracespan.ParseTraceID(rep.Exemplars[0].TraceID)
+	tb := rec.Begin(tid, tracespan.SpanID{}, "q1", "query", "tc(X,Y)")
+	tb.End(tb.Start("eval"))
+	req := tb.Finish(200, "ok")
+	rep.Exemplars[0].Trace = req
+	rep.Exemplars[0].StageCoverage = req.StageCoverage()
+
+	var buf bytes.Buffer
+	if err := WriteLoadJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLoadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Exemplars[0].Trace == nil || back.Exemplars[0].Trace.TraceID != rep.Exemplars[0].TraceID {
+		t.Fatal("embedded span tree lost in the JSON round trip")
+	}
+
+	// Validation rejects a span tree that does not match its exemplar.
+	rep.Exemplars[0].Trace = &tracespan.Request{TraceID: tracespan.NewTraceID().String(), Verb: "query"}
+	if err := rep.Validate(); err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Errorf("mismatched embedded trace passed validation (err=%v)", err)
+	}
+	rep.Exemplars[0].Trace = nil
+	rep.Exemplars[0].TraceID = ""
+	if err := rep.Validate(); err == nil {
+		t.Error("exemplar without a trace id passed validation")
+	}
+}

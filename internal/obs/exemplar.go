@@ -1,0 +1,111 @@
+package obs
+
+import "sync/atomic"
+
+// Exemplar links a histogram bucket back to a concrete request: the
+// trace id and value of the bucket's most recent occupant. This is the
+// bridge from aggregate SLO math to the flight recorder — loadgen reads
+// the exemplar behind a breaching quantile's bucket, looks the trace id
+// up at /debug/requests, and embeds that request's span tree in the
+// BENCH report. Last-write-wins per bucket (one atomic pointer swap per
+// observation), matching OpenMetrics exemplar semantics.
+//
+// Exemplars are deliberately NOT rendered into the /metrics text: the
+// endpoint speaks Prometheus text format 0.0.4, which has no exemplar
+// syntax, and the scrape is golden-tested byte for byte. They are
+// exposed through Snapshot (JSON debug surface) and the harness.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
+// exemplars is the per-bucket exemplar store attached lazily to a
+// Histogram by ObserveExemplar.
+type exemplars struct {
+	slots []atomic.Pointer[Exemplar] // len = buckets (bounds+1 for +Inf)
+}
+
+// ObserveExemplar is Observe plus an exemplar: the observation lands in
+// its bucket and the bucket's exemplar is replaced with (v, traceID).
+// An empty traceID degrades to a plain Observe, so call sites need no
+// tracing-enabled branch.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	ex := h.ex.Load()
+	if ex == nil {
+		neu := &exemplars{slots: make([]atomic.Pointer[Exemplar], len(h.counts))}
+		if !h.ex.CompareAndSwap(nil, neu) {
+			ex = h.ex.Load() // lost the race; use the winner's store
+		} else {
+			ex = neu
+		}
+	}
+	ex.slots[h.bucketOf(v)].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// bucketOf returns the bucket index v lands in (the Observe scan,
+// factored out so exemplars agree with counts).
+func (h *Histogram) bucketOf(v float64) int {
+	for b, bound := range h.bounds {
+		if v <= bound {
+			return b
+		}
+	}
+	return len(h.bounds)
+}
+
+// Exemplars returns the current per-bucket exemplars, index-aligned
+// with HistogramSnapshot.Counts (nil entries for buckets that never saw
+// a traced observation; nil slice when none have).
+func (h *Histogram) Exemplars() []*Exemplar {
+	ex := h.ex.Load()
+	if ex == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(ex.slots))
+	for i := range ex.slots {
+		out[i] = ex.slots[i].Load()
+	}
+	return out
+}
+
+// ExemplarForQuantile returns the exemplar for the bucket holding the
+// q-quantile — the concrete request standing behind an SLO verdict's
+// p99. Falls back to the nearest lower populated bucket with an
+// exemplar (a racing scrape can see a bucket count before its
+// exemplar), then nil.
+func (h *Histogram) ExemplarForQuantile(q float64) *Exemplar {
+	exs := h.Exemplars()
+	if exs == nil {
+		return nil
+	}
+	s := h.Snapshot()
+	if s.Count == 0 {
+		return nil
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	target := len(s.Counts) - 1
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) >= rank {
+			target = i
+			break
+		}
+	}
+	for i := target; i >= 0; i-- {
+		if s.Counts[i] > 0 && exs[i] != nil {
+			return exs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserveExemplarAttachesToBucket(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	if h.Exemplars() != nil {
+		t.Fatal("fresh histogram already has an exemplar store")
+	}
+
+	// Empty trace id degrades to a plain Observe: no store is attached.
+	h.ObserveExemplar(0.005, "")
+	if h.Exemplars() != nil {
+		t.Fatal("untraced observation attached an exemplar store")
+	}
+	if got := h.Snapshot().Count; got != 1 {
+		t.Fatalf("count = %d, want 1 (the untraced observation still counts)", got)
+	}
+
+	h.ObserveExemplar(0.005, "aaaa")
+	h.ObserveExemplar(0.0005, "bbbb")
+	h.ObserveExemplar(0.5, "cccc") // lands in the +Inf bucket
+	exs := h.Exemplars()
+	if exs == nil || len(exs) != 4 {
+		t.Fatalf("Exemplars() = %v, want 4 slots (3 bounds + Inf)", exs)
+	}
+	if exs[0].TraceID != "bbbb" || exs[1].TraceID != "aaaa" || exs[2] != nil || exs[3].TraceID != "cccc" {
+		t.Errorf("bucket exemplars = %v, want bbbb/aaaa/nil/cccc", exs)
+	}
+
+	// Last write wins within a bucket.
+	h.ObserveExemplar(0.006, "dddd")
+	if got := h.Exemplars()[1]; got.TraceID != "dddd" || got.Value != 0.006 {
+		t.Errorf("bucket 1 exemplar = %+v, want the newest (dddd, 0.006)", got)
+	}
+}
+
+func TestExemplarForQuantile(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	if h.ExemplarForQuantile(0.99) != nil {
+		t.Fatal("empty histogram returned an exemplar")
+	}
+	// 98 fast requests, 2 slow ones: p99 sits in the slow bucket.
+	for i := 0; i < 98; i++ {
+		h.ObserveExemplar(0.0005, "fast")
+	}
+	h.ObserveExemplar(0.05, "slow-a")
+	h.ObserveExemplar(0.06, "slow-b")
+	if got := h.ExemplarForQuantile(0.99); got == nil || got.TraceID != "slow-b" {
+		t.Errorf("p99 exemplar = %+v, want the slow bucket's last occupant slow-b", got)
+	}
+	if got := h.ExemplarForQuantile(0.50); got == nil || got.TraceID != "fast" {
+		t.Errorf("p50 exemplar = %+v, want fast", got)
+	}
+}
+
+func TestExemplarFallsBackToLowerBucket(t *testing.T) {
+	h := NewHistogram(0.001, 0.01, 0.1)
+	h.ObserveExemplar(0.0005, "traced")
+	h.Observe(0.05) // tail bucket populated but never traced
+	if got := h.ExemplarForQuantile(0.99); got == nil || got.TraceID != "traced" {
+		t.Errorf("p99 exemplar = %+v, want fallback to the traced lower bucket", got)
+	}
+}
+
+func TestObserveExemplarConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBuckets()...)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.ObserveExemplar(0.002, "t")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 1600 {
+		t.Errorf("count = %d, want 1600", got)
+	}
+	if got := h.ExemplarForQuantile(0.99); got == nil || got.TraceID != "t" {
+		t.Errorf("exemplar lost under concurrency: %+v", got)
+	}
+}
+
+func TestQueryExemplarReachableFromRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveError(5*time.Millisecond, "deadbeef")
+	if got := r.Latency.ExemplarForQuantile(0.99); got == nil || got.TraceID != "deadbeef" {
+		t.Errorf("latency exemplar = %+v, want the observed trace id", got)
+	}
+}
+
+func TestBuildInfoAndUptime(t *testing.T) {
+	r := NewRegistry()
+	if bi := r.BuildInfo(); bi != (BuildInfo{}) {
+		t.Fatalf("unset build info = %+v, want zero", bi)
+	}
+	r.SetBuildInfo("v1.2.3", "go1.22", "cafebabe")
+	bi := r.BuildInfo()
+	if bi.Version != "v1.2.3" || bi.GoVersion != "go1.22" || bi.Commit != "cafebabe" {
+		t.Fatalf("build info = %+v", bi)
+	}
+	if r.Uptime() < 0 {
+		t.Error("negative uptime")
+	}
+
+	snap := r.Snapshot()
+	if snap.Build != bi {
+		t.Errorf("snapshot build = %+v, want %+v", snap.Build, bi)
+	}
+	if snap.Uptime < 0 {
+		t.Error("snapshot uptime negative")
+	}
+
+	var buf strings.Builder
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`existdlog_build_info{commit="cafebabe",goversion="go1.22",version="v1.2.3"} 1`,
+		"existdlog_process_uptime_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition is missing %q", want)
+		}
+	}
+	// Exemplars stay out of the 0.0.4 text format (golden-tested):
+	// nothing in the scrape may mention a trace id.
+	r.ObserveError(time.Millisecond, "feedface")
+	buf.Reset()
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "feedface") {
+		t.Error("exemplar trace id leaked into the text exposition")
+	}
+}

@@ -18,6 +18,9 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Uint64  // float64 bits, CAS-accumulated
 	count  atomic.Int64
+	// ex holds per-bucket exemplars (exemplar.go), attached lazily on
+	// the first ObserveExemplar so untraced histograms pay one nil load.
+	ex atomic.Pointer[exemplars]
 }
 
 // NewHistogram returns a histogram over the given strictly increasing

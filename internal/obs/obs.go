@@ -115,8 +115,42 @@ type Registry struct {
 
 	rules sync.Map // rule text -> *RuleCounters
 
+	// build holds the binary's identity for the build_info gauge and
+	// /healthz (SetBuildInfo); nil until set, which renders as empty
+	// labels — keeping the golden scrape deterministic in tests that
+	// never set it.
+	build atomic.Pointer[BuildInfo]
+
 	start time.Time
 }
+
+// BuildInfo identifies the running binary: rendered as the
+// existdlog_build_info gauge's labels and on /healthz.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goversion"`
+	Commit    string `json:"commit"`
+}
+
+// SetBuildInfo publishes the binary's identity (serve calls this once
+// at startup with the version, runtime.Version(), and the vcs revision
+// from debug.ReadBuildInfo).
+func (r *Registry) SetBuildInfo(version, goVersion, commit string) {
+	r.build.Store(&BuildInfo{Version: version, GoVersion: goVersion, Commit: commit})
+}
+
+// BuildInfo returns the published identity (zero value until set).
+func (r *Registry) BuildInfo() BuildInfo {
+	if b := r.build.Load(); b != nil {
+		return *b
+	}
+	return BuildInfo{}
+}
+
+// Uptime is the time since the registry was created — process uptime
+// for all practical purposes, rendered as the
+// existdlog_process_uptime_seconds gauge and on /healthz.
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
 
 // NewRegistry returns an empty registry with the default buckets.
 func NewRegistry() *Registry {
@@ -263,20 +297,23 @@ func (r *Registry) Reevaluated()            { r.reevals.Add(1) }
 
 // ObserveError records a query that produced no Result (parse error,
 // arity mismatch, internal error) — only the outcome counter and the
-// latency histogram move.
-func (r *Registry) ObserveError(elapsed time.Duration) {
+// latency histogram move. A non-empty traceID becomes the latency
+// bucket's exemplar.
+func (r *Registry) ObserveError(elapsed time.Duration, traceID string) {
 	r.queries[outcomeIndex(OutcomeError)].Add(1)
-	r.Latency.Observe(elapsed.Seconds())
+	r.Latency.ObserveExemplar(elapsed.Seconds(), traceID)
 }
 
 // ObserveQuery drains one finished evaluation into the registry: the
 // aggregate Stats land in the lifetime counters and histograms, and the
 // per-rule trace metrics (when the query ran with Options.Trace) land
 // in the per-rule series. Partial results observe exactly their partial
-// Stats, so the partition invariant holds on aborted queries too.
-func (r *Registry) ObserveQuery(stats engine.Stats, tr *trace.Metrics, elapsed time.Duration, outcome Outcome) {
+// Stats, so the partition invariant holds on aborted queries too. A
+// non-empty traceID becomes the exemplar of the latency bucket this
+// query lands in, linking the aggregate back to the flight recorder.
+func (r *Registry) ObserveQuery(stats engine.Stats, tr *trace.Metrics, elapsed time.Duration, outcome Outcome, traceID string) {
 	r.queries[outcomeIndex(outcome)].Add(1)
-	r.Latency.Observe(elapsed.Seconds())
+	r.Latency.ObserveExemplar(elapsed.Seconds(), traceID)
 	r.Facts.Observe(float64(stats.FactsDerived))
 
 	r.factsDerived.Add(int64(stats.FactsDerived))
@@ -377,7 +414,9 @@ type Snapshot struct {
 
 	Rules []RuleSnapshot // sorted by rule text
 
-	Start time.Time
+	Build  BuildInfo
+	Start  time.Time
+	Uptime time.Duration
 }
 
 // TotalQueries sums the outcome counters.
@@ -425,7 +464,9 @@ func (r *Registry) Snapshot() *Snapshot {
 		Deltas:            r.Deltas.Snapshot(),
 		BatchSize:         r.BatchSize.Snapshot(),
 		Maintenance:       r.Maintenance.Snapshot(),
+		Build:             r.BuildInfo(),
 		Start:             r.start,
+		Uptime:            r.Uptime(),
 	}
 	for i, o := range outcomes {
 		s.Queries[o] = r.queries[i].Load()

@@ -102,12 +102,12 @@ func parse(t *testing.T, src string, reg *Registry, opts engine.Options) (*engin
 	outcome := OutcomeOK
 	if err != nil {
 		if res == nil || !res.Partial {
-			reg.ObserveError(elapsed)
+			reg.ObserveError(elapsed, "")
 			return nil, err
 		}
 		outcome = OutcomePartial
 	}
-	reg.ObserveQuery(res.Stats, res.Trace, elapsed, outcome)
+	reg.ObserveQuery(res.Stats, res.Trace, elapsed, outcome, "")
 	return res, nil
 }
 
@@ -286,7 +286,7 @@ func TestConcurrentObserveAndScrape(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				done := reg.QueryStarted()
 				reg.QueueEnter()
-				reg.ObserveQuery(stats, nil, time.Millisecond, OutcomeOK)
+				reg.ObserveQuery(stats, nil, time.Millisecond, OutcomeOK, "")
 				reg.QueueLeave()
 				done()
 			}

@@ -188,8 +188,14 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	p.header("existdlog_client_breaker_trips_total", "Client circuit breaker transitions to open.", "counter")
 	p.sample("existdlog_client_breaker_trips_total", "", s.BreakerTrips)
 
+	p.header("existdlog_build_info", "Binary identity; the gauge is always 1, the labels carry the information.", "gauge")
+	p.printf("existdlog_build_info{commit=%q,goversion=%q,version=%q} 1\n",
+		escapeLabel(s.Build.Commit), escapeLabel(s.Build.GoVersion), escapeLabel(s.Build.Version))
+
 	p.header("existdlog_process_start_time_seconds", "Unix time the registry was created.", "gauge")
 	p.printf("existdlog_process_start_time_seconds %s\n",
 		formatFloat(float64(s.Start.UnixNano())/1e9))
+	p.header("existdlog_process_uptime_seconds", "Seconds since the registry was created.", "gauge")
+	p.printf("existdlog_process_uptime_seconds %s\n", formatFloat(s.Uptime.Seconds()))
 	return p.err
 }

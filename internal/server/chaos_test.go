@@ -159,22 +159,47 @@ func TestDegradedHTTPServesReadsRejectsWrites(t *testing.T) {
 		WALDir:     t.TempDir(),
 		ProbeEvery: 10 * time.Millisecond,
 		Registry:   reg,
+		FlightSize: 64,
 	})
 
 	failpoint.Enable("wal/sync", failpoint.Config{Act: failpoint.ActError, Err: errDisk})
 
-	// The write that trips degraded mode: 503, Retry-After, counted.
+	// The write that trips degraded mode: 503, Retry-After, counted, and
+	// the body names the request and trace ids for correlation.
 	resp, err := http.Post(ts.URL+"/update", "application/json",
 		strings.NewReader(`{"facts": ["p(4,5)"]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
+	trip := decodeBody(t, resp)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("mutation over failing WAL: status = %d, want 503", resp.StatusCode)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("degraded 503 has no Retry-After header")
+	}
+	tripReq, _ := trip["request"].(string)
+	tripTrace, _ := trip["trace"].(string)
+	if tripReq == "" || tripTrace == "" {
+		t.Fatalf("degraded 503 body %v lacks request/trace correlation ids", trip)
+	}
+
+	// Later writes fail fast; their error text attributes the outage to
+	// the triggering request, pointing at its flight-recorder entry.
+	resp2b, err := http.Post(ts.URL+"/update", "application/json",
+		strings.NewReader(`{"facts": ["p(5,6)"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := decodeBody(t, resp2b)
+	resp2b.Body.Close()
+	wantAttr := fmt.Sprintf("triggered by request %s trace %s", tripReq, tripTrace)
+	if msg, _ := fast["error"].(string); !strings.Contains(msg, wantAttr) {
+		t.Errorf("fail-fast 503 error %q does not name the triggering request (%s)", msg, wantAttr)
+	}
+	if s.FlightRecorder().Find(tripTrace) == nil {
+		t.Error("the triggering request has no flight-recorder entry to point at")
 	}
 
 	// Reads serve the last installed version throughout.
@@ -193,6 +218,9 @@ func TestDegradedHTTPServesReadsRejectsWrites(t *testing.T) {
 	rresp.Body.Close()
 	if rresp.StatusCode != http.StatusServiceUnavailable || !strings.HasPrefix(string(body[:n]), "degraded:") {
 		t.Fatalf("readyz while degraded = %d %q, want 503 \"degraded: ...\"", rresp.StatusCode, string(body[:n]))
+	}
+	if !strings.Contains(string(body[:n]), wantAttr) {
+		t.Errorf("readyz cause %q does not name the triggering request (%s)", string(body[:n]), wantAttr)
 	}
 	if got := reg.Snapshot().Rejected["degraded/mutation"]; got < 1 {
 		t.Errorf("rejected_total{degraded,mutation} = %d, want >= 1", got)
@@ -241,6 +269,7 @@ func TestChaosSoak(t *testing.T) {
 		DefaultTimeout: 2 * time.Second,
 		ProbeEvery:     5 * time.Millisecond,
 		Registry:       reg,
+		FlightSize:     4096,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -329,6 +358,34 @@ func TestChaosSoak(t *testing.T) {
 	if len(acked) == 0 {
 		t.Fatal("chaos run acked no mutations; the soak exercised nothing")
 	}
+
+	// Tracing invariant under connection chaos: a retried call reuses its
+	// trace id across attempts but every attempt is a distinct recorder
+	// entry — the flight recorder must never hold a duplicate
+	// (trace, span) pair, killed connections and lost acks included.
+	seenSpan := map[[2]string]bool{}
+	perTrace := map[string]int{}
+	for _, req := range srv.FlightRecorder().Snapshot(0) {
+		key := [2]string{req.TraceID, req.SpanID}
+		if seenSpan[key] {
+			t.Errorf("flight recorder holds a duplicate (trace, span) pair %v", key)
+		}
+		seenSpan[key] = true
+		perTrace[req.TraceID]++
+		if err := req.Validate(); err != nil {
+			t.Errorf("recorded trace invalid under chaos: %v", err)
+		}
+	}
+	multi := 0
+	for _, n := range perTrace {
+		if n > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no trace has multiple attempt entries; the connection chaos never forced a retry")
+	}
+	t.Logf("flight recorder: %d entries, %d traces with retried attempts", len(seenSpan), multi)
 
 	// Restart from disk: every acked write must be present exactly as
 	// acknowledged — lost-ack retries included.

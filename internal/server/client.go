@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"existdlog/internal/obs"
+	"existdlog/internal/tracespan"
 )
 
 // Client is the HTTP client for a served instance, shared by the
@@ -53,6 +54,11 @@ type Client struct {
 	Breaker *BreakerPolicy
 	// Registry receives retry and breaker metrics; nil discards them.
 	Registry *obs.Registry
+	// Recorder, when set, records one client-side trace per call (verb
+	// "client.<path>") with one span per attempt and backoff sleep —
+	// the caller's view of the same trace id the server records. Nil
+	// disables client-side spans at zero cost.
+	Recorder *tracespan.Recorder
 
 	brkOnce sync.Once
 	brk     *breaker
@@ -273,15 +279,31 @@ type QueryResult struct {
 	Cached         bool    // compiled-program cache hit
 	ElapsedSeconds float64 // server-side evaluation wall time
 	Err            string  // server error message on a non-200 status
+	// TraceID is the call's end-to-end trace id (one per call, held
+	// constant across retries): the handle into /debug/requests.
+	TraceID string
 }
 
 // MutateResult is the client's view of one finished /update or /retract
 // call. Seq is the first store version that includes the write.
 type MutateResult struct {
-	Status int
-	Facts  int
-	Seq    uint64
-	Err    string
+	Status  int
+	Facts   int
+	Seq     uint64
+	Err     string
+	TraceID string
+}
+
+// traceIDFor picks the call's trace id: an explicit one planted with
+// tracespan.ContextWithTrace (loadgen pins deterministic per-request
+// ids this way), else freshly generated. One id per call — retries
+// reuse it with fresh span ids, so the server-side recorder shows one
+// trace with N attempt entries, never duplicates.
+func traceIDFor(ctx context.Context) tracespan.TraceID {
+	if tid, ok := tracespan.TraceFromContext(ctx); ok {
+		return tid
+	}
+	return tracespan.NewTraceID()
 }
 
 // retryableStatus reports whether a status signals a transient
@@ -304,12 +326,17 @@ func retryableStatus(status int) bool {
 // to the pool for reuse — under a retry storm, leaking bodies turns
 // every attempt into a fresh TCP+TLS handshake against an overloaded
 // server.
-func (c *Client) postOnce(ctx context.Context, path, idemKey string, payload []byte, out any) (status int, msg string, retryAfter time.Duration, err error) {
+func (c *Client) postOnce(ctx context.Context, path, idemKey string, tid tracespan.TraceID, payload []byte, out any) (status int, msg string, retryAfter time.Duration, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(payload))
 	if err != nil {
 		return 0, "", 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if !tid.IsZero() {
+		// One trace id per call, a fresh span id per attempt: the W3C
+		// parent of whatever server-side tree this attempt produces.
+		req.Header.Set("traceparent", tracespan.Traceparent(tid, tracespan.NewSpanID()))
+	}
 	if idemKey != "" {
 		req.Header.Set("Idempotency-Key", idemKey)
 	}
@@ -348,11 +375,12 @@ func (c *Client) postOnce(ctx context.Context, path, idemKey string, payload []b
 // ctx); everything else returns immediately. With no Retry policy it
 // is a single attempt, preserving the raw behavior measurement tools
 // depend on.
-func (c *Client) post(ctx context.Context, path, idemKey string, body, out any) (int, string, error) {
+func (c *Client) post(ctx context.Context, path, idemKey string, tid tracespan.TraceID, body, out any) (int, string, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return 0, "", err
 	}
+	tb := c.Recorder.Begin(tid, tracespan.SpanID{}, "", "client."+strings.TrimPrefix(path, "/"), "")
 	brk := c.breakerInst()
 	attempts := 1
 	if c.Retry != nil {
@@ -366,26 +394,39 @@ func (c *Client) post(ctx context.Context, path, idemKey string, body, out any) 
 	for attempt := 1; ; attempt++ {
 		if brk != nil {
 			if berr := brk.allow(); berr != nil {
+				tb.Finish(status, "breaker_open")
 				return 0, "", fmt.Errorf("%s: %w", path, berr)
 			}
 		}
-		status, msg, retryAfter, err = c.postOnce(ctx, path, idemKey, payload, out)
+		sp := tb.Start("attempt " + strconv.Itoa(attempt))
+		status, msg, retryAfter, err = c.postOnce(ctx, path, idemKey, tid, payload, out)
+		tb.End(sp)
+		tb.Attr(sp, "status", strconv.Itoa(status))
 		ok := err == nil && !retryableStatus(status)
 		if brk != nil {
 			brk.report(ok)
 		}
 		if ok || attempt >= attempts || ctx.Err() != nil {
+			outcome := "ok"
+			if !ok {
+				outcome = "error"
+			}
+			tb.Finish(status, outcome)
 			return status, msg, err
 		}
 		if c.Registry != nil {
 			c.Registry.RetryObserved()
 		}
 		sleep := c.Retry.backoff(attempt, retryAfter)
+		bo := tb.Start("backoff")
 		t := time.NewTimer(sleep)
 		select {
 		case <-t.C:
+			tb.End(bo)
 		case <-ctx.Done():
 			t.Stop()
+			tb.End(bo)
+			tb.Finish(status, "canceled")
 			return status, msg, err
 		}
 	}
@@ -412,12 +453,13 @@ func (c *Client) Query(ctx context.Context, goal string, timeout time.Duration) 
 		req.TimeoutMS = timeout.Milliseconds()
 	}
 	var resp queryResponse
-	status, msg, err := c.post(ctx, "/query", "", req, &resp)
+	tid := traceIDFor(ctx)
+	status, msg, err := c.post(ctx, "/query", "", tid, req, &resp)
 	if err != nil {
-		return QueryResult{Status: status}, err
+		return QueryResult{Status: status, TraceID: tid.String()}, err
 	}
 	if msg != "" {
-		return QueryResult{Status: status, Err: msg}, nil
+		return QueryResult{Status: status, Err: msg, TraceID: tid.String()}, nil
 	}
 	return QueryResult{
 		Status:         status,
@@ -427,6 +469,7 @@ func (c *Client) Query(ctx context.Context, goal string, timeout time.Duration) 
 		ProvedEmpty:    resp.ProvedEmpty,
 		Cached:         resp.Cached,
 		ElapsedSeconds: resp.ElapsedSeconds,
+		TraceID:        tid.String(),
 	}, nil
 }
 
@@ -443,12 +486,48 @@ func (c *Client) Mutate(ctx context.Context, op string, facts []string, timeout 
 		req.TimeoutMS = timeout.Milliseconds()
 	}
 	var resp mutationResponse
-	status, msg, err := c.post(ctx, "/"+op, newIdempotencyKey(), req, &resp)
+	tid := traceIDFor(ctx)
+	status, msg, err := c.post(ctx, "/"+op, newIdempotencyKey(), tid, req, &resp)
 	if err != nil {
-		return MutateResult{Status: status}, err
+		return MutateResult{Status: status, TraceID: tid.String()}, err
 	}
 	if msg != "" {
-		return MutateResult{Status: status, Err: msg}, nil
+		return MutateResult{Status: status, Err: msg, TraceID: tid.String()}, nil
 	}
-	return MutateResult{Status: status, Facts: resp.Facts, Seq: resp.Seq}, nil
+	return MutateResult{Status: status, Facts: resp.Facts, Seq: resp.Seq, TraceID: tid.String()}, nil
+}
+
+// DebugRequests fetches up to limit entries from the server's flight
+// recorder (/debug/requests), newest first — the loadgen harness uses
+// it to resolve the span trees behind SLO-breaching exemplar trace ids.
+// limit <= 0 fetches the whole ring.
+func (c *Client) DebugRequests(ctx context.Context, limit int) ([]*tracespan.Request, error) {
+	url := c.Base + "/debug/requests?json=1"
+	if limit > 0 {
+		url += "&limit=" + strconv.Itoa(limit)
+	} else {
+		url += "&limit=1000000"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("debug/requests: status %d", resp.StatusCode)
+	}
+	var body struct {
+		Requests []*tracespan.Request `json:"requests"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("decoding debug/requests: %w", err)
+	}
+	return body.Requests, nil
 }

@@ -49,6 +49,7 @@ import (
 	"existdlog/internal/obs"
 	"existdlog/internal/parser"
 	"existdlog/internal/trace"
+	"existdlog/internal/tracespan"
 	"existdlog/internal/wal"
 )
 
@@ -102,6 +103,15 @@ type Config struct {
 	// SnapshotEvery checkpoints the store after this many logged
 	// mutations (0 = never; the log grows until restart).
 	SnapshotEvery int
+	// FlightSize enables the flight recorder: completed request span
+	// trees are kept in a lock-free ring of this many entries, served at
+	// /debug/requests. 0 disables tracing entirely — the span hot path
+	// becomes nil-receiver no-ops and performs zero allocations.
+	FlightSize int
+	// SlowQuery emits one structured log line with the full span
+	// breakdown for any request at least this slow (0 = never). Only
+	// effective with FlightSize > 0.
+	SlowQuery time.Duration
 }
 
 // compiled is one goal's ready-to-evaluate program, cached immutably.
@@ -122,6 +132,9 @@ type Server struct {
 
 	adm   *admission
 	cache sync.Map // goal key -> *compiled
+	// rec is the flight recorder; nil when Config.FlightSize is 0, which
+	// turns every span call in the handlers into a nil-receiver no-op.
+	rec *tracespan.Recorder
 
 	mu       sync.Mutex
 	draining bool
@@ -185,6 +198,9 @@ func New(cfg Config) (*Server, error) {
 		abortCtx: abortCtx,
 		abort:    abort,
 	}
+	if cfg.FlightSize > 0 {
+		s.rec = tracespan.NewRecorder(cfg.FlightSize)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleMutation)
@@ -192,6 +208,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/debug/requests", s.rec.ServeHTTP)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -208,6 +225,10 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Store exposes the versioned fact store (for tests and shutdown).
 func (s *Server) Store() *Store { return s.store }
+
+// FlightRecorder exposes the recorder (nil when disabled) for tests and
+// the chaos harness's no-duplicate-span assertions.
+func (s *Server) FlightRecorder() *tracespan.Recorder { return s.rec }
 
 // Close stops the store's applier and closes its log. Call after Drain:
 // mutations still queued are failed, never half-applied.
@@ -374,7 +395,11 @@ type statsJSON struct {
 // are sound, Partial is set, and Incomplete names what stopped the
 // evaluation.
 type queryResponse struct {
-	Request        string            `json:"request"`
+	Request string `json:"request"`
+	// TraceID correlates this response with the flight recorder, the
+	// slow-query log, and histogram exemplars ("" when tracing is
+	// disabled).
+	TraceID        string            `json:"trace,omitempty"`
 	Goal           string            `json:"goal"`
 	Answers        [][]string        `json:"answers"`
 	Count          int               `json:"count"`
@@ -389,7 +414,80 @@ type queryResponse struct {
 
 type errorResponse struct {
 	Request string `json:"request"`
+	// TraceID correlates the failure with the flight recorder and logs
+	// ("" when tracing is disabled).
+	TraceID string `json:"trace,omitempty"`
 	Error   string `json:"error"`
+}
+
+// beginTrace opens a span builder for one request: the trace id comes
+// from the client's W3C traceparent header when present (so client
+// attempt spans and server trees join up), else is freshly generated.
+// With the recorder disabled this returns nil without touching the
+// header or the entropy pool — the zero-allocation path.
+func (s *Server) beginTrace(r *http.Request, id, verb, detail string) *tracespan.Builder {
+	if s.rec == nil {
+		return nil
+	}
+	tid, parent, ok := tracespan.ParseTraceparent(r.Header.Get("traceparent"))
+	if !ok {
+		tid = tracespan.NewTraceID()
+	}
+	return s.rec.Begin(tid, parent, id, verb, detail)
+}
+
+// finishTrace seals a request's trace, publishes it to the flight
+// recorder, and emits the slow-query log line when the request crossed
+// the configured threshold. Nil-safe (no recorder, or reject paths that
+// never opened a builder).
+func (s *Server) finishTrace(tb *tracespan.Builder, status int, outcome string) {
+	req := tb.Finish(status, outcome)
+	if req == nil || s.cfg.SlowQuery <= 0 || req.Duration < s.cfg.SlowQuery {
+		return
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelWarn, "slow query",
+		slog.String("request", req.ID),
+		slog.String("trace", req.TraceID),
+		slog.String("verb", req.Verb),
+		slog.String("detail", req.Detail),
+		slog.Int("status", req.Status),
+		slog.String("outcome", req.Outcome),
+		slog.Duration("elapsed", req.Duration),
+		slog.Duration("staged", req.StageSum()),
+		slog.Any("spans", slowSpans(req)))
+}
+
+// slowSpan is one line of the slow-query breakdown: name, self range,
+// and attrs flattened to "k=v" — compact enough for a log line, rich
+// enough to see where the time went without opening /debug/requests.
+type slowSpan struct {
+	Name     string        `json:"name"`
+	Parent   int           `json:"parent"`
+	Start    time.Duration `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Attrs    string        `json:"attrs,omitempty"`
+}
+
+func slowSpans(req *tracespan.Request) []slowSpan {
+	out := make([]slowSpan, len(req.Spans))
+	for i := range req.Spans {
+		sp := &req.Spans[i]
+		var attrs strings.Builder
+		for j, a := range sp.Attrs {
+			if j > 0 {
+				attrs.WriteByte(' ')
+			}
+			attrs.WriteString(a.Key)
+			attrs.WriteByte('=')
+			attrs.WriteString(a.Value)
+		}
+		out[i] = slowSpan{
+			Name: sp.Name, Parent: sp.Parent,
+			Start: sp.Start, Duration: sp.End - sp.Start,
+			Attrs: attrs.String(),
+		}
+	}
+	return out
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -427,16 +525,18 @@ func (s *Server) retryAfterSeconds() int {
 // mutation outcome counters — a rejected request did not reach the
 // engine, and folding rejections into error outcomes would poison the
 // latency and outcome metrics exactly when they matter most.
-func (s *Server) reject(w http.ResponseWriter, r *http.Request, id string, class admitClass, reason string, status int, err error) {
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, id string, class admitClass, reason string, status int, err error, tb *tracespan.Builder) {
 	s.reg.Rejected(reason, class.String())
 	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	s.log.LogAttrs(r.Context(), slog.LevelWarn, "request rejected",
 		slog.String("request", id),
+		slog.String("trace", tb.TraceID()),
 		slog.String("class", class.String()),
 		slog.String("reason", reason),
 		slog.Int("status", status),
 		slog.String("error", err.Error()))
-	writeJSON(w, status, errorResponse{Request: id, Error: err.Error()})
+	writeJSON(w, status, errorResponse{Request: id, TraceID: tb.TraceID(), Error: err.Error()})
+	s.finishTrace(tb, status, "rejected:"+reason)
 }
 
 // rejectAdmit maps an admission error onto the wire: queue_full is 429
@@ -445,19 +545,21 @@ func (s *Server) reject(w http.ResponseWriter, r *http.Request, id string, class
 // its own deadline died while it queued — also gets a 503, but is
 // counted only in shed_total (the controller already did), not in
 // rejected_total.
-func (s *Server) rejectAdmit(w http.ResponseWriter, r *http.Request, id string, class admitClass, err error) {
+func (s *Server) rejectAdmit(w http.ResponseWriter, r *http.Request, id string, class admitClass, err error, tb *tracespan.Builder) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		s.reject(w, r, id, class, "queue_full", http.StatusTooManyRequests, err)
+		s.reject(w, r, id, class, "queue_full", http.StatusTooManyRequests, err, tb)
 	case errors.Is(err, errQueueTimeout):
-		s.reject(w, r, id, class, "queue_timeout", http.StatusServiceUnavailable, err)
+		s.reject(w, r, id, class, "queue_timeout", http.StatusServiceUnavailable, err, tb)
 	default: // errShed
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		s.log.LogAttrs(r.Context(), slog.LevelWarn, "request shed",
 			slog.String("request", id),
+			slog.String("trace", tb.TraceID()),
 			slog.String("class", class.String()),
 			slog.String("error", err.Error()))
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Request: id, Error: err.Error()})
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Request: id, TraceID: tb.TraceID(), Error: err.Error()})
+		s.finishTrace(tb, http.StatusServiceUnavailable, "shed")
 	}
 }
 
@@ -468,9 +570,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := fmt.Sprintf("q%d", s.reqSeq.Add(1))
+	tb := s.beginTrace(r, id, "query", "")
 	if !s.enter() {
 		s.reject(w, r, id, admitQuery, "draining", http.StatusServiceUnavailable,
-			errors.New("server is draining"))
+			errors.New("server is draining"), tb)
 		return
 	}
 	defer s.inflight.Done()
@@ -478,13 +581,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := s.now()
 	fail := func(status int, err error) {
 		elapsed := s.now().Sub(start)
-		s.reg.ObserveError(elapsed)
+		s.reg.ObserveError(elapsed, tb.TraceID())
 		s.log.LogAttrs(r.Context(), slog.LevelWarn, "query failed",
 			slog.String("request", id),
 			slog.Int("status", status),
 			slog.String("error", err.Error()),
 			slog.Duration("elapsed", elapsed))
-		writeJSON(w, status, errorResponse{Request: id, Error: err.Error()})
+		writeJSON(w, status, errorResponse{Request: id, TraceID: tb.TraceID(), Error: err.Error()})
+		s.finishTrace(tb, status, "error")
 	}
 
 	// Chaos site: the failpoint-tagged suite injects handler latency
@@ -494,6 +598,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	decodeSpan := tb.Start("decode")
 	var req queryRequest
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -521,24 +626,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	tb.End(decodeSpan)
+	tb.SetDetail(goal.String())
 
+	compileSpan := tb.Start("compile")
 	c, cached, err := s.compile(goal)
 	if err != nil {
 		fail(errStatus(err), err)
 		return
 	}
+	tb.End(compileSpan)
+	if cached {
+		tb.Attr(compileSpan, "cache", "hit")
+	} else {
+		tb.Attr(compileSpan, "cache", "miss")
+	}
 	if c.empty {
+		tb.Attr(compileSpan, "proved_empty", "true")
 		elapsed := s.now().Sub(start)
-		s.reg.ObserveQuery(engine.Stats{}, nil, elapsed, obs.OutcomeOK)
+		s.reg.ObserveQuery(engine.Stats{}, nil, elapsed, obs.OutcomeOK, tb.TraceID())
 		s.log.LogAttrs(r.Context(), slog.LevelInfo, "query",
 			slog.String("request", id),
 			slog.String("goal", goal.String()),
 			slog.Bool("proved_empty", true),
 			slog.Duration("elapsed", elapsed))
 		writeJSON(w, http.StatusOK, queryResponse{
-			Request: id, Goal: c.goal.String(), Answers: [][]string{},
+			Request: id, TraceID: tb.TraceID(), Goal: c.goal.String(), Answers: [][]string{},
 			ProvedEmpty: true, Cached: cached, ElapsedSeconds: elapsed.Seconds(),
 		})
+		s.finishTrace(tb, http.StatusOK, "ok")
 		return
 	}
 
@@ -570,10 +686,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Bounded admission: take an evaluation slot now, wait briefly in
 	// the query-class queue, or get rejected/shed. The wait is bounded
 	// by both the queue timeout and the request's own deadline.
+	admitSpan := tb.Start("queue")
 	if aerr := s.adm.admit(evalCtx, admitQuery); aerr != nil {
-		s.rejectAdmit(w, r, id, admitQuery, aerr)
+		tb.End(admitSpan)
+		s.rejectAdmit(w, r, id, admitQuery, aerr, tb)
 		return
 	}
+	tb.End(admitSpan)
 	defer s.adm.release()
 
 	finish := s.reg.QueryStarted()
@@ -583,6 +702,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		BooleanCut: true,
 		Trace:      true,
 		MaxFacts:   s.cfg.MaxFacts,
+		PassTimes:  tb != nil,
 	}
 	if s.cfg.Parallel {
 		opts.Strategy = existdlog.Parallel
@@ -590,7 +710,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Pin the store version once: the whole evaluation sees one immutable
 	// base state, no matter how many writes install newer versions
 	// meanwhile.
+	evalSpan := tb.Start("eval")
 	res, evalErr := existdlog.EvalContext(evalCtx, c.prog, s.store.Current().EDB, opts)
+	tb.End(evalSpan)
+	if res != nil {
+		s.graftPassSpans(tb, evalSpan, res)
+	}
 	elapsed := s.now().Sub(start)
 	if evalErr != nil && (res == nil || !res.Partial) {
 		status := errStatus(evalErr)
@@ -605,14 +730,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Partial {
 		outcome = obs.OutcomePartial
 	}
-	s.reg.ObserveQuery(res.Stats, res.Trace, elapsed, outcome)
+	s.reg.ObserveQuery(res.Stats, res.Trace, elapsed, outcome, tb.TraceID())
 
+	respondSpan := tb.Start("respond")
 	answers := res.Answers(c.goal)
 	if answers == nil {
 		answers = [][]string{}
 	}
 	resp := queryResponse{
 		Request:        id,
+		TraceID:        tb.TraceID(),
 		Goal:           c.goal.String(),
 		Answers:        answers,
 		Count:          len(answers),
@@ -641,6 +768,32 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		slog.Bool("cached", cached),
 		slog.Duration("elapsed", elapsed))
 	writeJSON(w, http.StatusOK, resp)
+	tb.End(respondSpan)
+	s.finishTrace(tb, http.StatusOK, string(outcome))
+}
+
+// graftPassSpans converts an evaluation's per-pass wall-clock offsets
+// (engine.Result.PassTimes, measured from evaluation start) into child
+// spans of the eval span, annotated with the pass metrics the trace
+// collector recorded at the same barriers.
+func (s *Server) graftPassSpans(tb *tracespan.Builder, evalSpan int, res *engine.Result) {
+	if tb == nil || len(res.PassTimes) == 0 {
+		return
+	}
+	base := tb.SpanStart(evalSpan)
+	prev := time.Duration(0)
+	for i, off := range res.PassTimes {
+		sp := tb.Add("pass "+strconv.Itoa(i+1), evalSpan, base+prev, base+off)
+		if res.Trace != nil && i < len(res.Trace.Passes) {
+			ps := &res.Trace.Passes[i]
+			tb.Attr(sp, "facts", strconv.Itoa(ps.Facts))
+			tb.Attr(sp, "versions", strconv.Itoa(ps.Versions))
+			if len(ps.Cuts) > 0 {
+				tb.Attr(sp, "cuts", strconv.Itoa(len(ps.Cuts)))
+			}
+		}
+		prev = off
+	}
 }
 
 // mutationRequest is the POST /update and POST /retract body.
@@ -659,6 +812,7 @@ type mutationRequest struct {
 // this mutation's effect.
 type mutationResponse struct {
 	Request        string  `json:"request"`
+	TraceID        string  `json:"trace,omitempty"`
 	Op             string  `json:"op"`
 	Facts          int     `json:"facts"`
 	Seq            uint64  `json:"seq"`
@@ -710,9 +864,10 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := fmt.Sprintf("m%d", s.reqSeq.Add(1))
+	tb := s.beginTrace(r, id, string(op), "")
 	if !s.enter() {
 		s.reject(w, r, id, admitMutation, "draining", http.StatusServiceUnavailable,
-			errors.New("server is draining"))
+			errors.New("server is draining"), tb)
 		return
 	}
 	defer s.inflight.Done()
@@ -722,7 +877,7 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 	// queue capacity that reads could use.
 	if deg, cause := s.store.Degraded(); deg {
 		s.reject(w, r, id, admitMutation, "degraded", http.StatusServiceUnavailable,
-			fmt.Errorf("%w: %s", ErrDegraded, cause))
+			fmt.Errorf("%w: %s", ErrDegraded, cause), tb)
 		return
 	}
 
@@ -734,9 +889,11 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 			slog.String("op", string(op)),
 			slog.Int("status", status),
 			slog.String("error", err.Error()))
-		writeJSON(w, status, errorResponse{Request: id, Error: err.Error()})
+		writeJSON(w, status, errorResponse{Request: id, TraceID: tb.TraceID(), Error: err.Error()})
+		s.finishTrace(tb, status, "error")
 	}
 
+	decodeSpan := tb.Start("decode")
 	var req mutationRequest
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -754,6 +911,8 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, err)
 		return
 	}
+	tb.End(decodeSpan)
+	tb.SetDetail(strconv.Itoa(len(facts)) + " facts")
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMS > 0 {
@@ -772,18 +931,27 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 	// Mutations share the slot pool with queries but queue at lower
 	// priority: under contention reads keep flowing while writes wait,
 	// are bounded, or are rejected for the (idempotent) client to retry.
+	admitSpan := tb.Start("queue")
 	if aerr := s.adm.admit(ctx, admitMutation); aerr != nil {
-		s.rejectAdmit(w, r, id, admitMutation, aerr)
+		tb.End(admitSpan)
+		s.rejectAdmit(w, r, id, admitMutation, aerr, tb)
 		return
 	}
+	tb.End(admitSpan)
 	defer s.adm.release()
 
-	seq, err := s.store.Mutate(ctx, Mutation{Op: op, Facts: facts, ID: r.Header.Get("Idempotency-Key")})
+	storeSpan := tb.Start("store")
+	seq, enq, timing, err := s.store.MutateTraced(ctx, Mutation{
+		Op: op, Facts: facts, ID: r.Header.Get("Idempotency-Key"),
+		Req: id, Trace: tb.TraceID(),
+	})
+	tb.End(storeSpan)
+	s.graftStoreSpans(tb, storeSpan, enq, timing)
 	if err != nil {
 		if errors.Is(err, ErrDegraded) {
 			// The WAL failed under us (possibly mid-batch, after this
 			// mutation was queued): nothing was applied or acked.
-			s.reject(w, r, id, admitMutation, "degraded", http.StatusServiceUnavailable, err)
+			s.reject(w, r, id, admitMutation, "degraded", http.StatusServiceUnavailable, err, tb)
 			return
 		}
 		status := errStatus(err)
@@ -803,11 +971,40 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request) {
 		slog.Duration("elapsed", elapsed))
 	writeJSON(w, http.StatusOK, mutationResponse{
 		Request:        id,
+		TraceID:        tb.TraceID(),
 		Op:             string(op),
 		Facts:          len(facts),
 		Seq:            seq,
 		ElapsedSeconds: elapsed.Seconds(),
 	})
+	s.finishTrace(tb, http.StatusOK, "ok")
+}
+
+// graftStoreSpans converts the applier's batch timing stamps into child
+// spans of the handler's "store" span: the queue-to-applier handoff,
+// the batched maintenance pass, the WAL append and group-commit fsync,
+// the version install (checkpoint policy included), and the ack wait.
+func (s *Server) graftStoreSpans(tb *tracespan.Builder, storeSpan int, enq time.Time, t *batchTiming) {
+	if tb == nil || t == nil {
+		return
+	}
+	qStart := tb.OffsetOf(enq)
+	deq := tb.OffsetOf(t.dequeued)
+	sp := tb.Add("applier_queue", storeSpan, qStart, deq)
+	tb.Attr(sp, "batch", strconv.Itoa(t.size))
+	applied := tb.OffsetOf(t.applied)
+	tb.Add("maintain", storeSpan, deq, applied)
+	installFrom := applied
+	if !t.walDone.IsZero() {
+		walDone := tb.OffsetOf(t.walDone)
+		synced := tb.OffsetOf(t.synced)
+		tb.Add("wal_append", storeSpan, applied, walDone)
+		tb.Add("wal_fsync", storeSpan, walDone, synced)
+		installFrom = synced
+	}
+	installed := tb.OffsetOf(t.installed)
+	tb.Add("install", storeSpan, installFrom, installed)
+	tb.Add("ack", storeSpan, installed, tb.Offset())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -821,6 +1018,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+	// Identity and uptime ride along (the liveness contract is only the
+	// 200 and the first line; probes that grep "ok" are unaffected).
+	b := s.reg.BuildInfo()
+	fmt.Fprintf(w, "version: %s\ngo: %s\ncommit: %s\nuptime: %s\n",
+		orUnknown(b.Version), orUnknown(b.GoVersion), orUnknown(b.Commit),
+		s.reg.Uptime().Round(time.Second))
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {

@@ -305,12 +305,13 @@ func readAll(resp *http.Response) ([]byte, error) {
 	return buf.Bytes(), err
 }
 
-// stripStartTime drops the process-start-time family — the only
-// wall-clock-dependent lines in the exposition.
+// stripStartTime drops the process-start-time and uptime families — the
+// only wall-clock-dependent lines in the exposition.
 func stripStartTime(b []byte) []byte {
 	var out bytes.Buffer
 	for _, line := range strings.SplitAfter(string(b), "\n") {
-		if strings.Contains(line, "existdlog_process_start_time_seconds") {
+		if strings.Contains(line, "existdlog_process_start_time_seconds") ||
+			strings.Contains(line, "existdlog_process_uptime_seconds") {
 			continue
 		}
 		out.WriteString(line)

@@ -114,16 +114,42 @@ type Mutation struct {
 	Op    wal.Op
 	Facts []wal.Fact
 	ID    string
+	// Req and Trace identify the originating request ("m7") and its
+	// trace id for end-to-end correlation: they ride into the WAL record
+	// and, if this mutation's batch breaks the log, into the degraded
+	// cause reported by /readyz.
+	Req   string
+	Trace string
 }
 
 type mutReq struct {
-	m   Mutation
+	m Mutation
+	// enq is when the mutation entered the applier queue (real monotonic
+	// clock — span math must never see the server's injectable fake);
+	// the queue-to-applier handoff span is enq → timing.dequeued.
+	enq time.Time
 	ack chan mutAck // buffered; the applier never blocks on a waiter
 }
 
 type mutAck struct {
 	seq uint64
 	err error
+	// timing is the shared stage breakdown of the batch that carried
+	// this mutation (nil on failure paths that never started applying).
+	timing *batchTiming
+}
+
+// batchTiming is the applier-side stage clock of one batch, shared by
+// every mutation the batch acknowledged. All stamps are real time.Now
+// wall/monotonic times; the request handler converts them into child
+// spans of its "store" span.
+type batchTiming struct {
+	dequeued  time.Time // applier picked the batch up
+	applied   time.Time // maintenance passes done
+	walDone   time.Time // records appended (zero when memory-only)
+	synced    time.Time // group-commit fsync done (zero when memory-only)
+	installed time.Time // new version installed and checkpoint policy run
+	size      int       // mutations in the batch (coalescing visibility)
 }
 
 // StoreConfig configures NewStore.
@@ -259,19 +285,33 @@ func (s *Store) Degraded() (bool, string) {
 
 // enterDegraded flips the store read-only: mutations fail fast, the
 // degraded gauge rises, and the applier starts probing for recovery.
-func (s *Store) enterDegraded(cause error) {
+// req and trace (both optional) identify the mutation whose batch broke
+// the log; they are baked into the cause string so 503 bodies and
+// /readyz output point straight at the flight-recorder entry of the
+// triggering request.
+func (s *Store) enterDegraded(cause error, req, trace string) {
 	if s.degraded.Swap(true) {
 		return
 	}
+	text := cause.Error()
+	if req != "" {
+		text = fmt.Sprintf("%s (triggered by request %s", text, req)
+		if trace != "" {
+			text += " trace " + trace
+		}
+		text += ")"
+	}
 	s.degradedMu.Lock()
-	s.degradedCause = cause.Error()
+	s.degradedCause = text
 	s.degradedMu.Unlock()
 	if s.reg != nil {
 		s.reg.SetDegraded(true)
 	}
 	s.log.LogAttrs(context.Background(), slog.LevelError,
 		"store degraded: serving reads only until the log recovers",
-		slog.String("cause", cause.Error()))
+		slog.String("cause", text),
+		slog.String("request", req),
+		slog.String("trace", trace))
 }
 
 // exitDegraded re-enables writes after a successful probe.
@@ -326,40 +366,49 @@ func (s *Store) rememberID(id string, seq uint64) {
 // includes it. Cancelling ctx abandons the wait, not the write: a
 // mutation already queued may still apply.
 func (s *Store) Mutate(ctx context.Context, m Mutation) (uint64, error) {
+	seq, _, _, err := s.MutateTraced(ctx, m)
+	return seq, err
+}
+
+// MutateTraced is Mutate plus the applier-side stage timing: the
+// enqueue time and the batch's timing stamps (nil when the write failed
+// before applying), which the request handler grafts into its span
+// tree.
+func (s *Store) MutateTraced(ctx context.Context, m Mutation) (uint64, time.Time, *batchTiming, error) {
 	if m.Op != wal.OpUpdate && m.Op != wal.OpRetract {
-		return 0, fmt.Errorf("server: unknown mutation op %q", m.Op)
+		return 0, time.Time{}, nil, fmt.Errorf("server: unknown mutation op %q", m.Op)
 	}
 	if len(m.Facts) == 0 {
-		return 0, errors.New("server: mutation with no facts")
+		return 0, time.Time{}, nil, errors.New("server: mutation with no facts")
 	}
 	if s.degraded.Load() {
 		// Fail fast: don't even queue. A request already queued when the
 		// flag flips is failed by the applier instead.
 		_, cause := s.Degraded()
-		return 0, fmt.Errorf("%w: %s", ErrDegraded, cause)
+		return 0, time.Time{}, nil, fmt.Errorf("%w: %s", ErrDegraded, cause)
 	}
-	req := &mutReq{m: m, ack: make(chan mutAck, 1)}
+	req := &mutReq{m: m, enq: time.Now(), ack: make(chan mutAck, 1)}
 	select {
 	case s.reqs <- req:
 	case <-s.quit:
-		return 0, errors.New("server: store is closed")
+		return 0, req.enq, nil, errors.New("server: store is closed")
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return 0, req.enq, nil, ctx.Err()
 	}
 	select {
 	case a := <-req.ack:
-		return a.seq, a.err
+		return a.seq, req.enq, a.timing, a.err
 	case <-ctx.Done():
-		return 0, ctx.Err()
+		return 0, req.enq, nil, ctx.Err()
 	case <-s.done:
 		// The applier exited. A request enqueued concurrently with Close
 		// may have been acked just before the exit (acks are buffered) or
 		// never picked up at all.
 		select {
 		case a := <-req.ack:
-			return a.seq, a.err
+			return a.seq, req.enq, a.timing, a.err
 		default:
-			return 0, errors.New("server: store is closed")
+			return 0, req.enq, nil, errors.New("server: store is closed")
 		}
 	}
 }
@@ -492,6 +541,7 @@ func (s *Store) applyBatch(batch []*mutReq) {
 		return
 	}
 	start := s.now()
+	timing := &batchTiming{dequeued: time.Now(), size: len(batch)}
 	prev := s.cur.Load()
 	edb := prev.EDB.Clone()
 	mat := prev.Mat
@@ -546,6 +596,7 @@ func (s *Store) applyBatch(batch []*mutReq) {
 		}
 		i = j
 	}
+	timing.applied = time.Now()
 
 	// Group commit: one fsync covers every record in the batch. A log
 	// failure here — append or sync, real or injected — means the batch
@@ -557,19 +608,24 @@ func (s *Store) applyBatch(batch []*mutReq) {
 		var werr error
 		for _, r := range valid {
 			seq++
-			if werr = s.wlog.Append(wal.Record{Seq: seq, Op: r.m.Op, Facts: r.m.Facts, ID: r.m.ID}); werr != nil {
+			if werr = s.wlog.Append(wal.Record{Seq: seq, Op: r.m.Op, Facts: r.m.Facts, ID: r.m.ID, Trace: r.m.Trace}); werr != nil {
 				break
 			}
 		}
+		timing.walDone = time.Now()
 		if werr == nil {
 			werr = s.wlog.Sync()
 		}
+		timing.synced = time.Now()
 		if werr != nil {
 			if rberr := s.wlog.Rollback(); rberr != nil {
 				s.log.LogAttrs(context.Background(), slog.LevelWarn, "wal rollback failed",
 					slog.String("error", rberr.Error()))
 			}
-			s.enterDegraded(werr)
+			// Attribute the failure to the first mutation of the batch:
+			// its request and trace ids make the degraded cause (503
+			// bodies, /readyz) correlatable with the flight recorder.
+			s.enterDegraded(werr, valid[0].m.Req, valid[0].m.Trace)
 			ack := mutAck{err: fmt.Errorf("%w: %s", ErrDegraded, werr)}
 			s.ackAll(valid, ack)
 			s.ackAll(dupes, ack)
@@ -591,11 +647,12 @@ func (s *Store) applyBatch(batch []*mutReq) {
 	// already covers the batch) but it keeps "ack received" implying
 	// "checkpoint policy observed", which recovery tests rely on.
 	s.maybeSnapshot(len(valid), seq, edb)
+	timing.installed = time.Now()
 	if s.reg != nil {
 		s.reg.ObserveMaintenance(len(valid), s.now().Sub(start))
 	}
-	s.ackAll(valid, mutAck{seq: seq})
-	s.ackAll(dupes, mutAck{seq: seq})
+	s.ackAll(valid, mutAck{seq: seq, timing: timing})
+	s.ackAll(dupes, mutAck{seq: seq, timing: timing})
 }
 
 func (s *Store) ackAll(reqs []*mutReq, a mutAck) {

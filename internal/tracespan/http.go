@@ -1,0 +1,170 @@
+package tracespan
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ServeHTTP renders the flight recorder at /debug/requests in the
+// spirit of x/net/trace: an HTML table of recent requests with
+// expandable span trees, or raw JSON with ?json=1. Filters:
+//
+//	?verb=query          only this verb
+//	?status=503          only this HTTP status
+//	?min=50ms            only requests at least this slow
+//	?trace=<32 hex>      only this trace id
+//	?limit=100           at most this many (default 64)
+//	?json=1              JSON instead of HTML
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	q := req.URL.Query()
+	limit := 64
+	if s := q.Get("limit"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			limit = n
+		}
+	}
+	var minDur time.Duration
+	if s := q.Get("min"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil {
+			minDur = d
+		}
+	}
+	verb := q.Get("verb")
+	traceID := q.Get("trace")
+	status := 0
+	if s := q.Get("status"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			status = n
+		}
+	}
+
+	var out []*Request
+	for _, t := range r.Snapshot(0) {
+		if verb != "" && t.Verb != verb {
+			continue
+		}
+		if status != 0 && t.Status != status {
+			continue
+		}
+		if t.Duration < minDur {
+			continue
+		}
+		if traceID != "" && t.TraceID != traceID {
+			continue
+		}
+		out = append(out, t)
+		if len(out) >= limit {
+			break
+		}
+	}
+
+	if q.Get("json") != "" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Capacity int        `json:"capacity"`
+			Count    int        `json:"count"`
+			Requests []*Request `json:"requests"`
+		}{r.Cap(), len(out), out})
+		return
+	}
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html><html><head><title>/debug/requests</title><style>
+body{font-family:monospace;margin:1em}
+table{border-collapse:collapse}
+td,th{padding:2px 8px;text-align:left;border-bottom:1px solid #ddd}
+tr.bad td{background:#fee}
+details{margin:0}
+.bar{display:inline-block;height:9px;background:#69c}
+.lane{display:inline-block;width:260px;background:#f2f2f2;position:relative}
+.attr{color:#888}
+</style></head><body>
+<h2>existdlog flight recorder</h2>
+<p>%d of %d ring slots shown · filters: <code>?verb= &status= &min=50ms &trace= &limit= &json=1</code></p>
+<table><tr><th>start</th><th>request</th><th>verb</th><th>detail</th><th>status</th><th>outcome</th><th>duration</th><th>trace</th><th>spans</th></tr>
+`, len(out), r.Cap())
+	for _, t := range out {
+		cls := ""
+		if t.Status >= 400 {
+			cls = ` class="bad"`
+		}
+		fmt.Fprintf(w, `<tr%s><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td><a href="?trace=%s">%s…</a></td><td>%s</td></tr>
+`,
+			cls,
+			t.Start.Format("15:04:05.000"),
+			html.EscapeString(t.ID),
+			html.EscapeString(t.Verb),
+			html.EscapeString(truncate(t.Detail, 48)),
+			t.Status,
+			html.EscapeString(t.Outcome),
+			t.Duration.Round(time.Microsecond),
+			t.TraceID, t.TraceID[:8],
+			spanTreeHTML(t))
+	}
+	fmt.Fprint(w, "</table></body></html>\n")
+}
+
+// spanTreeHTML renders one request's spans as an expandable list with
+// proportional offset bars.
+func spanTreeHTML(t *Request) string {
+	if len(t.Spans) == 0 {
+		return "—"
+	}
+	total := t.Duration
+	if total <= 0 {
+		total = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<details><summary>%d spans (%.0f%% staged)</summary><table>", len(t.Spans), 100*t.StageCoverage())
+	// Children directly under their parent, depth-first in index order.
+	children := map[int][]int{}
+	for i := range t.Spans {
+		children[t.Spans[i].Parent] = append(children[t.Spans[i].Parent], i)
+	}
+	for _, ids := range children {
+		sort.Ints(ids)
+	}
+	var walk func(parent, depth int)
+	walk = func(parent, depth int) {
+		for _, i := range children[parent] {
+			sp := &t.Spans[i]
+			left := 260 * float64(sp.Start) / float64(total)
+			width := 260 * float64(sp.End-sp.Start) / float64(total)
+			if width < 1 {
+				width = 1
+			}
+			var attrs strings.Builder
+			for _, a := range sp.Attrs {
+				fmt.Fprintf(&attrs, " %s=%s", html.EscapeString(a.Key), html.EscapeString(a.Value))
+			}
+			fmt.Fprintf(&b,
+				`<tr><td style="padding-left:%dpx">%s</td><td>%s</td><td><span class="lane"><span class="bar" style="margin-left:%.0fpx;width:%.0fpx"></span></span></td><td class="attr">%s</td></tr>`,
+				8+depth*14, html.EscapeString(sp.Name),
+				(sp.End - sp.Start).Round(time.Microsecond),
+				left, width, attrs.String())
+			walk(i, depth+1)
+		}
+	}
+	walk(RootSpan, 0)
+	b.WriteString("</table></details>")
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -63,6 +63,10 @@ type Record struct {
 	Op    Op     `json:"op"`
 	Facts []Fact `json:"facts"`
 	ID    string `json:"id,omitempty"`
+	// Trace is the originating request's trace id, carried for
+	// end-to-end correlation between the log and the flight recorder.
+	// Replay ignores it; old logs without the field read back fine.
+	Trace string `json:"trace,omitempty"`
 }
 
 // maxFrame bounds a frame payload; anything larger in a length header is

@@ -65,7 +65,7 @@ type Request struct {
 // interarrival gap that would cross a boundary is discarded, and the
 // next period's process starts fresh at the boundary.
 type Period struct {
-	Rate    float64       `json:"rate_rps"`
+	Rate     float64       `json:"rate_rps"`
 	Duration time.Duration `json:"duration_ns"`
 }
 
@@ -147,6 +147,27 @@ func (t *Trace) Digest() string {
 		io.WriteString(h, "\x01")
 	}
 	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+// TraceIDFor derives the deterministic trace id the runner pins on
+// request i: an FNV-128a hash over the schedule digest and the index.
+// Being a pure function of (trace, i), a replayed schedule carries the
+// same trace ids, so flight-recorder lookups and report exemplars stay
+// comparable across runs of the same workload.
+func (t *Trace) TraceIDFor(i int) [16]byte {
+	h := fnv.New128a()
+	io.WriteString(h, t.Digest())
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(i))
+	h.Write(buf[:])
+	var id [16]byte
+	h.Sum(id[:0])
+	// An all-zero trace id is "absent" in W3C traceparent terms; FNV of
+	// non-empty input never produces one, but keep the invariant explicit.
+	if id == ([16]byte{}) {
+		id[15] = 1
+	}
+	return id
 }
 
 // WriteTrace records a trace as indented JSON (the -record format).

@@ -238,3 +238,32 @@ func TestScenarioProgram(t *testing.T) {
 		t.Errorf("program has %d edge facts, want %d", got, sc.Nodes)
 	}
 }
+
+// TestTraceIDFor: trace ids are a pure function of (schedule digest,
+// request index) — deterministic across regenerations, distinct across
+// indices and seeds, and never the zero id (which W3C forbids). This is
+// what lets a replayed schedule resolve the same BENCH exemplars.
+func TestTraceIDFor(t *testing.T) {
+	sc := Scenarios["mixed"]
+	a := sc.Generate(7, 2*time.Second, 0)
+	b := sc.Generate(7, 2*time.Second, 0)
+	c := sc.Generate(8, 2*time.Second, 0)
+
+	seen := map[[16]byte]int{}
+	for i := range a.Requests {
+		id := a.TraceIDFor(i)
+		if id == ([16]byte{}) {
+			t.Fatalf("request %d got the all-zero trace id", i)
+		}
+		if id != b.TraceIDFor(i) {
+			t.Fatalf("request %d: regenerated schedule produced a different trace id", i)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("requests %d and %d share trace id %x", prev, i, id)
+		}
+		seen[id] = i
+	}
+	if len(c.Requests) > 0 && a.TraceIDFor(0) == c.TraceIDFor(0) {
+		t.Error("different seeds produced the same trace id for index 0")
+	}
+}
