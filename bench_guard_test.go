@@ -93,3 +93,69 @@ a(X,Y) :- p(X,Y).
 		})
 	}
 }
+
+// TestPlannerJoinProbeCeilings pins exact JoinProbes counts for the
+// BenchmarkJoinReorderAblation pair and the transitive-closure chain,
+// planner off and on. Unlike allocs these need no benchmark loop or
+// headroom: probe counts are a pure function of program, database, and
+// planner, so any drift is a real planner (or join-loop) change and the
+// pinned numbers should be re-derived consciously, not absorbed. The
+// planner-on numbers are also the acceptance evidence for the runtime
+// planner: they must stay strictly below their planner-off pair.
+func TestPlannerJoinProbeCeilings(t *testing.T) {
+	reorderProg := MustParseProgram(`
+ans(X,W) :- big(Y,Z), sel(X,Y), big(Z,W).
+?- ans(X,W).
+`)
+	reorderDB := NewDatabase()
+	for i := 0; i < 2000; i++ {
+		reorderDB.Add("big", fmt.Sprint(i), fmt.Sprint(i+1))
+	}
+	reorderDB.Add("sel", "s", "3")
+	tcProg := MustParseProgram(`
+a(X,Y) :- p(X,Z), a(Z,Y).
+a(X,Y) :- p(X,Y).
+?- a(X,Y).
+`)
+	tcDB := NewDatabase()
+	for i := 0; i < 512; i++ {
+		tcDB.Add("p", fmt.Sprint(i), fmt.Sprint(i+1))
+	}
+
+	cases := []struct {
+		name    string
+		reorder bool
+		want    int64
+		prog    *Program
+		db      *Database
+	}{
+		{"ReorderAblation/textual", false, 2002, reorderProg, reorderDB},
+		{"ReorderAblation/planner", true, 3, reorderProg, reorderDB},
+		{"TCChain512/textual", false, 263170, tcProg, tcDB},
+		{"TCChain512/planner", true, 131841, tcProg, tcDB},
+	}
+	probes := map[string]int64{}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			res, err := Eval(c.prog, c.db, EvalOptions{ReorderJoins: c.reorder})
+			if err != nil {
+				t.Fatal(err)
+			}
+			probes[c.name] = res.Stats.JoinProbes
+			if res.Stats.JoinProbes != c.want {
+				t.Errorf("%s: JoinProbes = %d, want exactly %d (probe counts are deterministic; re-derive the pin if the planner changed on purpose)",
+					c.name, res.Stats.JoinProbes, c.want)
+			}
+		})
+	}
+	for _, pair := range [][2]string{
+		{"ReorderAblation/planner", "ReorderAblation/textual"},
+		{"TCChain512/planner", "TCChain512/textual"},
+	} {
+		if probes[pair[0]] >= probes[pair[1]] {
+			t.Errorf("planner must beat the textual order: %s=%d vs %s=%d",
+				pair[0], probes[pair[0]], pair[1], probes[pair[1]])
+		}
+	}
+}

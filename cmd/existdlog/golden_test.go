@@ -77,6 +77,33 @@ func TestGoldenRunExplainTrace(t *testing.T) {
 	}
 }
 
+// TestGoldenExplainPlan pins the join-planner EXPLAIN section: the
+// startup-pass order per rule with the live EDB cardinalities that
+// justified it. Cardinalities of committed fixtures are fixed, so the
+// section is byte-stable.
+func TestGoldenExplainPlan(t *testing.T) {
+	for _, file := range goldenPrograms(t) {
+		name := strings.TrimSuffix(filepath.Base(file), ".dl")
+		t.Run(name, func(t *testing.T) {
+			out := capture(t, func() error { return cmdExplain([]string{"-plan", file}) })
+			goldenCompare(t, name+".explain-plan.golden", out)
+		})
+	}
+}
+
+// TestGoldenRunReorderTrace runs the planner end to end with tracing:
+// the per-pass `plan rN#occ: ...` lines must be byte-stable — replanning
+// is deterministic even as orders shift with the deltas.
+func TestGoldenRunReorderTrace(t *testing.T) {
+	for _, file := range goldenPrograms(t) {
+		name := strings.TrimSuffix(filepath.Base(file), ".dl")
+		t.Run(name, func(t *testing.T) {
+			out := capture(t, func() error { return cmdRun([]string{"-reorder", "-explain", "-trace", file}) })
+			goldenCompare(t, name+".run-reorder.golden", out)
+		})
+	}
+}
+
 func TestGoldenWhy(t *testing.T) {
 	out := capture(t, func() error { return cmdWhy([]string{"testdata/example1.dl", "a(1,3)"}) })
 	goldenCompare(t, "example1.why.golden", out)

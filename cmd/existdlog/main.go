@@ -3,8 +3,8 @@
 //
 //	existdlog optimize [-mode 51|53] [-magic] file.dl   step-by-step optimization report
 //	existdlog adorn file.dl                             print the adorned program
-//	existdlog run [-noopt] [-nocut] [-naive] [-parallel] [-explain] [-trace] [-timeout 1s] file.dl  evaluate and print answers + stats
-//	existdlog explain [-json] file.dl                   optimizer EXPLAIN: what each stage decided
+//	existdlog run [-noopt] [-nocut] [-naive] [-parallel] [-reorder] [-explain] [-trace] [-timeout 1s] file.dl  evaluate and print answers + stats
+//	existdlog explain [-json] [-plan] file.dl           optimizer EXPLAIN: what each stage decided
 //	existdlog why file.dl 'a@nd(1)'                     print one answer's derivation tree
 //	existdlog grammar file.dl                           chain-program/grammar analysis
 //	existdlog equiv left.dl right.dl                    Section 4 equivalence report
@@ -222,6 +222,11 @@ func cmdRun(args []string) error {
 	} else if *explain {
 		fmt.Println("% -explain has no report under -noopt (the optimizer did not run)")
 	}
+	if *explain && *reorder {
+		if err := printPlanPreview(prog, db); err != nil {
+			return err
+		}
+	}
 	opts := existdlog.EvalOptions{BooleanCut: !*nocut, ReorderJoins: *reorder, Trace: *traceFlag}
 	if *naive && *parallel {
 		return fmt.Errorf("run: -naive and -parallel are mutually exclusive")
@@ -264,16 +269,38 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// printPlanPreview renders the runtime join planner's startup-pass
+// orders with the live relation cardinalities that justified them — the
+// EXPLAIN view of -reorder. Delta (semi-naive) rule versions replan at
+// every pass barrier; run with -reorder -trace to watch those.
+func printPlanPreview(prog *existdlog.Program, db *existdlog.Database) error {
+	orders, err := existdlog.PlanPreview(prog, db)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== join planner (startup-pass orders from live cardinalities) ==")
+	if len(orders) == 0 {
+		fmt.Println("% no rules to plan")
+		return nil
+	}
+	for i := range orders {
+		fmt.Printf("%% %s\n", orders[i].String())
+	}
+	return nil
+}
+
 // cmdExplain prints the optimizer's stage-by-stage EXPLAIN report for a
 // program: adornments chosen, boolean components split off, positions
 // projected away, and which check deleted which rule. With a second
 // argument (a ground goal) it keeps its historical meaning and delegates
-// to "why", printing that answer's derivation tree.
+// to "why", printing that answer's derivation tree. -plan appends the
+// runtime join planner's chosen orders for the optimized program.
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	mode := fs.String("mode", "53", "summary deletion mode: 51 or 53")
 	magicFlag := fs.Bool("magic", false, "finish with the magic-sets rewriting")
+	plan := fs.Bool("plan", false, "append the runtime join planner's startup orders with their cardinalities (text output only)")
 	fs.Parse(args)
 	if fs.NArg() == 2 {
 		return cmdWhy(fs.Args())
@@ -281,7 +308,7 @@ func cmdExplain(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("explain: expected one program file (or a file and a ground goal, as in 'why')")
 	}
-	prog, _, err := load(fs.Arg(0))
+	prog, db, err := load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -303,6 +330,9 @@ func cmdExplain(args []string) error {
 		return nil
 	}
 	res.Explain.Format(os.Stdout)
+	if *plan && !res.EmptyAnswer {
+		return printPlanPreview(res.Program, db)
+	}
 	return nil
 }
 

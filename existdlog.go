@@ -34,6 +34,7 @@ import (
 	"existdlog/internal/engine"
 	"existdlog/internal/ierr"
 	"existdlog/internal/parser"
+	"existdlog/internal/trace"
 )
 
 // Core types, aliased from the internal packages so that everything the
@@ -124,6 +125,14 @@ func Eval(p *Program, db *Database, opt EvalOptions) (*EvalResult, error) {
 // Incomplete naming the reason) holding everything soundly derived so far.
 func EvalContext(ctx context.Context, p *Program, db *Database, opt EvalOptions) (*EvalResult, error) {
 	return engine.EvalContext(ctx, p, db, opt)
+}
+
+// PlanPreview returns the join orders the runtime planner (EvalOptions.
+// ReorderJoins) would choose for every rule's startup version, with the
+// live EDB cardinalities that justify them — the EXPLAIN view of the
+// planner, without running the fixpoint.
+func PlanPreview(p *Program, db *Database) ([]trace.VersionOrder, error) {
+	return engine.PlanPreview(p, db)
 }
 
 // Update incrementally maintains a previous evaluation under newly added

@@ -64,7 +64,12 @@ type Options struct {
 	TrackProvenance bool
 	// ReorderJoins evaluates each rule's body in a greedy bound-first
 	// order (starting from the delta literal in semi-naive versions)
-	// instead of the textual order. Answers are unaffected; join probe
+	// instead of the textual order. The order is replanned at every pass
+	// barrier from the live relation and delta cardinalities, bound slots
+	// are propagated through the chosen prefix to precompute each probe's
+	// bound-column index signature, and versions whose body provably joins
+	// empty (a positive relation or delta with zero live tuples) are
+	// skipped before the fan-out. Answers are unaffected; join probe
 	// counts usually drop on badly ordered rules.
 	ReorderJoins bool
 	// Workers caps the goroutine pool used by the Parallel strategy
@@ -225,10 +230,34 @@ type rulePlan struct {
 	slots    int
 	boolHead bool
 	stratum  int
-	// orders caches the greedy join order per delta occurrence (-1 for
-	// the naive/startup version); nil entries mean textual order. The
-	// cache is filled before a pass fans out, so workers only read it.
-	orders map[int][]int
+	// vplans caches the greedy join plan per delta occurrence (-1 for
+	// the naive/startup version) for one pass epoch; planEpoch records
+	// which. The evaluator bumps its epoch at every pass barrier, so
+	// stale entries are recomputed from live cardinalities, and the cache
+	// is filled before a pass fans out, so workers only read it.
+	vplans    map[int]*versionPlan
+	planEpoch uint64
+}
+
+// versionPlan is one rule version's join plan for one pass epoch,
+// computed at the pass barrier from live relation and delta sizes.
+type versionPlan struct {
+	// order[k] is the body literal evaluated at step k.
+	order []int
+	// boundCols[k] lists the argument positions of order[k] that are
+	// bound (a constant, or a slot bound by an earlier step) when the
+	// literal is probed — the bound-column index signature its Match
+	// calls will use.
+	boundCols [][]int
+	// sizes[k] is the live cardinality the planner saw for order[k]: the
+	// delta size for the delta literal, the full relation size otherwise,
+	// 1 for builtins.
+	sizes []int
+	// empty marks a version that provably derives nothing this pass:
+	// some positive non-builtin literal reads a relation (or delta) with
+	// zero live tuples. Negated literals never count — negation over an
+	// empty relation succeeds.
+	empty bool
 }
 
 // version identifies one semi-naive rule version: a rule plan and the body
@@ -275,6 +304,14 @@ type evaluator struct {
 	baseFacts int
 	queryKey  string
 	maxStrat  int
+	// planEpoch distinguishes pass barriers for the join planner: it is
+	// bumped at the start of every pass, invalidating each rulePlan's
+	// cached versionPlans so orders are recomputed from live sizes.
+	planEpoch uint64
+	// passOrders accumulates the planner's per-version order records for
+	// the pass being traced; tracedPass (and updatePass) attach them to
+	// the pass record and reset the slice.
+	passOrders []trace.VersionOrder
 	// tc collects the per-rule/per-pass metrics of Options.Trace; nil when
 	// tracing is disabled, which reduces every instrumentation site to one
 	// nil comparison.
@@ -446,9 +483,47 @@ func (ev *evaluator) tracedPass(vs []version, collectNext bool, stratum int) err
 	ev.tc.Pass(trace.PassStats{
 		Pass: ev.stats.Iterations, Stratum: stratum, Versions: len(vs),
 		Facts: ev.stats.FactsDerived - before, Deltas: deltas,
+		Orders: ev.takeOrders(),
 	})
 	ev.markPass()
 	return err
+}
+
+// recordOrder converts one version's join plan into the trace record
+// attached to the enclosing pass: the literals in chosen order, the live
+// cardinalities that justified the choice, and each step's bound-argument
+// count. No-op unless tracing is on.
+func (ev *evaluator) recordOrder(plan *rulePlan, occ int, vp *versionPlan) {
+	if ev.tc == nil || vp == nil {
+		return
+	}
+	vo := trace.VersionOrder{
+		Rule: plan.idx, Occ: occ, Skipped: vp.empty,
+		Literals: make([]string, len(vp.order)),
+		Sizes:    append([]int(nil), vp.sizes...),
+		Bound:    make([]int, len(vp.order)),
+	}
+	for k, li := range vp.order {
+		lp := &plan.body[li]
+		name := lp.key
+		switch {
+		case lp.negated:
+			name = "not " + name
+		case lp.builtin == notBuiltin && lp.occ >= 0 && lp.occ == occ:
+			name = "~" + name // the delta occurrence
+		}
+		vo.Literals[k] = name
+		vo.Bound[k] = len(vp.boundCols[k])
+	}
+	ev.passOrders = append(ev.passOrders, vo)
+}
+
+// takeOrders hands the accumulated order records to the pass being
+// closed and resets the accumulator.
+func (ev *evaluator) takeOrders() []trace.VersionOrder {
+	o := ev.passOrders
+	ev.passOrders = nil
+	return o
 }
 
 // markPass records the wall-clock offset of a completed pass barrier
@@ -678,48 +753,127 @@ func (ev *evaluator) relationFor(lp *literalPlan, deltaOcc int) *Relation {
 	}
 	r, ok := ev.out.Lookup(lp.key)
 	if !ok {
-		// Base predicate with no facts: empty relation of the right arity.
-		// (Unreachable after compile's materialization pass; kept as a
-		// safety net for direct callers.)
-		return ev.out.Relation(lp.key, len(lp.args))
+		// Base predicate with no facts: a shared immutable empty relation
+		// of the right arity. (Unreachable after compile's materialization
+		// pass; kept as a safety net for direct callers.) The fallback must
+		// NOT create the relation in ev.out: relationFor runs on Parallel
+		// worker goroutines, and workers never write the shared database.
+		return emptyRelation(len(lp.args))
 	}
 	return r
 }
 
-// joinOrder computes (and caches) the literal evaluation order for a rule
-// version: the delta literal first, then greedily the literal with the
-// most bound arguments among those whose builtin binding requirements are
-// satisfiable, preferring base relations and the textual order on ties.
-// Relation sizes are stable within a pass (inserts happen only at merge
-// barriers), so the cached order does not depend on when within a pass it
-// was computed.
-func (ev *evaluator) joinOrder(plan *rulePlan, deltaOcc int) []int {
+// emptyRels caches the shared immutable empty relations handed out by
+// relationFor's fallback, one per arity. They are only ever read (Match
+// may lazily build an empty index, which Relation guards internally), so
+// sharing them across evaluations and goroutines is safe.
+var (
+	emptyRelMu sync.Mutex
+	emptyRels  = map[int]*Relation{}
+)
+
+func emptyRelation(arity int) *Relation {
+	emptyRelMu.Lock()
+	defer emptyRelMu.Unlock()
+	r, ok := emptyRels[arity]
+	if !ok {
+		r = &Relation{arity: arity}
+		emptyRels[arity] = r
+	}
+	return r
+}
+
+// planVersion returns (computing and caching if needed) the join plan for
+// a rule version at the current pass epoch, or nil when reordering is
+// off. Plans for a pass are computed at its barrier, on the coordinating
+// goroutine, before any fan-out: workers only ever read the cache, and a
+// plan's live sizes are stable for the whole pass (inserts happen only at
+// merge barriers).
+func (ev *evaluator) planVersion(plan *rulePlan, deltaOcc int) *versionPlan {
 	if !ev.opt.ReorderJoins {
 		return nil
 	}
-	if plan.orders == nil {
-		plan.orders = make(map[int][]int)
+	if plan.planEpoch != ev.planEpoch {
+		plan.planEpoch = ev.planEpoch
+		clear(plan.vplans)
 	}
-	if ord, ok := plan.orders[deltaOcc]; ok {
-		return ord
+	if vp, ok := plan.vplans[deltaOcc]; ok {
+		return vp
+	}
+	vp := ev.computePlan(plan, deltaOcc)
+	if plan.vplans == nil {
+		plan.vplans = make(map[int]*versionPlan)
+	}
+	plan.vplans[deltaOcc] = vp
+	return vp
+}
+
+// computePlan runs the greedy ordering for one rule version against the
+// live relation state: the delta literal first (sized by the delta), then
+// repeatedly the ready literal with the most bound arguments — preferring
+// base relations over derived ones (their sizes are stable across
+// passes), then the smaller live relation, then the textual order. Bound
+// slots propagate through the chosen prefix, so each step also records
+// the argument positions bound at probe time — its index signature — and
+// the version is marked empty when any positive non-builtin literal reads
+// a relation (or delta) with zero live tuples: its join provably derives
+// nothing this pass.
+func (ev *evaluator) computePlan(plan *rulePlan, deltaOcc int) *versionPlan {
+	n := len(plan.body)
+	vp := &versionPlan{
+		order:     make([]int, 0, n),
+		boundCols: make([][]int, 0, n),
+		sizes:     make([]int, 0, n),
 	}
 	boundSlot := make([]bool, plan.slots)
-	used := make([]bool, len(plan.body))
-	order := make([]int, 0, len(plan.body))
-	take := func(li int) {
+	used := make([]bool, n)
+	liveSize := func(lp *literalPlan) int {
+		if lp.builtin != notBuiltin {
+			return 1
+		}
+		if lp.occ >= 0 && lp.occ == deltaOcc {
+			if d, ok := ev.deltas[lp.key]; ok {
+				return d.Len()
+			}
+			return 0
+		}
+		if rel, ok := ev.out.Lookup(lp.key); ok {
+			return rel.Len()
+		}
+		return 0
+	}
+	take := func(li, size int) {
+		lp := &plan.body[li]
 		used[li] = true
-		order = append(order, li)
-		for _, a := range plan.body[li].args {
+		var cols []int
+		for i, a := range lp.args {
+			if a.isConst || boundSlot[a.slot] {
+				cols = append(cols, i)
+			}
+		}
+		vp.order = append(vp.order, li)
+		vp.boundCols = append(vp.boundCols, cols)
+		vp.sizes = append(vp.sizes, size)
+		if lp.builtin == notBuiltin && !lp.negated && size == 0 {
+			vp.empty = true
+		}
+		if lp.negated {
+			return // negation binds nothing at runtime
+		}
+		for _, a := range lp.args {
 			if !a.isConst {
 				boundSlot[a.slot] = true
 			}
 		}
 	}
-	// Semi-naive versions start from the delta literal.
+	// Semi-naive versions start from the literal reading the delta
+	// (derived occurrences in ordinary runs; base occurrences under
+	// incremental Update).
 	if deltaOcc >= 0 {
-		for li, lp := range plan.body {
-			if lp.derived && lp.occ == deltaOcc {
-				take(li)
+		for li := range plan.body {
+			lp := &plan.body[li]
+			if lp.occ == deltaOcc {
+				take(li, liveSize(lp))
 				break
 			}
 		}
@@ -740,17 +894,8 @@ func (ev *evaluator) joinOrder(plan *rulePlan, deltaOcc int) []int {
 		}
 		return true
 	}
-	relSize := func(lp *literalPlan) int {
-		if lp.builtin != notBuiltin {
-			return 1
-		}
-		if rel, ok := ev.out.Lookup(lp.key); ok {
-			return rel.Len()
-		}
-		return 0
-	}
-	for len(order) < len(plan.body) {
-		best, bestBound, bestSize := -1, -1, 0
+	for len(vp.order) < n {
+		best, bestBound, bestBase, bestSize := -1, -1, false, 0
 		for li := range plan.body {
 			if used[li] {
 				continue
@@ -765,28 +910,52 @@ func (ev *evaluator) joinOrder(plan *rulePlan, deltaOcc int) []int {
 					boundArgs++
 				}
 			}
-			size := relSize(lp)
-			// More bound arguments first; among ties, the smaller relation
-			// (selectivity proxy, measured at first evaluation); then the
-			// textual order.
-			if boundArgs > bestBound || (boundArgs == bestBound && size < bestSize) {
-				best, bestBound, bestSize = li, boundArgs, size
-			}
-		}
-		if best < 0 {
-			// Only unready builtins remain: fall back to textual order
-			// (the runtime will report the binding error if it is real).
-			for li := range plan.body {
-				if !used[li] {
-					take(li)
+			isBase := lp.builtin == notBuiltin && !lp.derived
+			size := liveSize(lp)
+			// More bound arguments first; then base over derived; then the
+			// smaller live relation; the ascending scan with strict
+			// improvement keeps the textual order on full ties.
+			better := boundArgs > bestBound
+			if !better && boundArgs == bestBound {
+				switch {
+				case isBase != bestBase:
+					better = isBase
+				case size < bestSize:
+					better = true
 				}
 			}
-			break
+			if better {
+				best, bestBound, bestBase, bestSize = li, boundArgs, isBase, size
+			}
 		}
-		take(best)
+		if best >= 0 {
+			take(best, liveSize(&plan.body[best]))
+			continue
+		}
+		// Nothing is ready: only negated literals and builtins whose
+		// binding requirements are unmet remain. Force exactly one — the
+		// textually first non-negated literal if any, else the textually
+		// first negated one — and rerun the selection, so a builtin forced
+		// here can still make a later builtin ready and negated literals
+		// stay at the tail. If the forced builtin's arguments are genuinely
+		// never bound, the runtime reports the binding error, and reports
+		// it deterministically because this order is.
+		forced := -1
+		for li := range plan.body {
+			if used[li] {
+				continue
+			}
+			if !plan.body[li].negated {
+				forced = li
+				break
+			}
+			if forced < 0 {
+				forced = li
+			}
+		}
+		take(forced, liveSize(&plan.body[forced]))
 	}
-	plan.orders[deltaOcc] = order
-	return order
+	return vp
 }
 
 // evalRule joins the body of plan (with the deltaOcc-th derived occurrence
@@ -819,12 +988,12 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 		r.valsBuf = append(r.valsBuf, make(Tuple, 0, 8))
 		r.newlyBuf = append(r.newlyBuf, make([]int, 0, 8))
 	}
-	order := ev.joinOrder(plan, deltaOcc)
+	vp := ev.planVersion(plan, deltaOcc)
 	var rec func(step int) error
 	rec = func(step int) error {
 		li := step
-		if order != nil && step < len(order) {
-			li = order[step]
+		if vp != nil && step < len(vp.order) {
+			li = vp.order[step]
 		}
 		if step == len(plan.body) {
 			// Emission site: also a cancellation point, so rules whose last
@@ -855,18 +1024,36 @@ func (r *runner) evalRule(plan *rulePlan, deltaOcc int, emit func(Tuple, []FactR
 			return r.evalBuiltin(plan, lp, step, vals, bound, rec)
 		}
 		rel := ev.relationFor(lp, deltaOcc)
-		cols := r.colsBuf[step][:0]
-		cvals := r.valsBuf[step][:0]
-		for i, a := range lp.args {
-			if a.isConst {
-				cols = append(cols, i)
-				cvals = append(cvals, a.constID)
-			} else if bound[a.slot] {
-				cols = append(cols, i)
-				cvals = append(cvals, vals[a.slot])
+		var cols []int
+		var cvals Tuple
+		if vp != nil {
+			// The planner precomputed this step's bound argument positions
+			// (they depend only on the order, which binds the same slots the
+			// runtime does); only the probe values vary per invocation.
+			cols = vp.boundCols[step]
+			cvals = r.valsBuf[step][:0]
+			for _, i := range cols {
+				if a := lp.args[i]; a.isConst {
+					cvals = append(cvals, a.constID)
+				} else {
+					cvals = append(cvals, vals[a.slot])
+				}
 			}
+			r.valsBuf[step] = cvals
+		} else {
+			cols = r.colsBuf[step][:0]
+			cvals = r.valsBuf[step][:0]
+			for i, a := range lp.args {
+				if a.isConst {
+					cols = append(cols, i)
+					cvals = append(cvals, a.constID)
+				} else if bound[a.slot] {
+					cols = append(cols, i)
+					cvals = append(cvals, vals[a.slot])
+				}
+			}
+			r.colsBuf[step], r.valsBuf[step] = cols, cvals
 		}
-		r.colsBuf[step], r.valsBuf[step] = cols, cvals
 		if lp.negated {
 			// Negation as failure against the finished lower-stratum
 			// relation. Safety has bound every named variable; remaining
@@ -1150,11 +1337,33 @@ func (ev *evaluator) runPass(versions []version, collectNext bool) error {
 	if err := failpoint.Inject(FPPass); err != nil {
 		return err
 	}
-	// Fill the per-plan join-order cache up front on this goroutine:
-	// workers then only read it, and the cached order is the same one
-	// sequential evaluation would compute (sizes are stable in a pass).
-	for _, v := range versions {
-		ev.joinOrder(ev.plans[v.pi], v.occ)
+	// Plan barrier: bump the epoch and recompute every version's join plan
+	// from the live relation and delta cardinalities, up front on this
+	// goroutine — workers then only read the cache, and the plan is the
+	// same one sequential evaluation would compute (sizes are stable in a
+	// pass). Versions whose plan proves the join empty are dropped here,
+	// before the fan-out, so sequential and parallel runs skip
+	// identically; for the rest, the index buckets their probes will use
+	// are prewarmed while no worker is running.
+	ev.planEpoch++
+	if ev.opt.ReorderJoins {
+		kept := make([]version, 0, len(versions))
+		for _, v := range versions {
+			plan := ev.plans[v.pi]
+			vp := ev.planVersion(plan, v.occ)
+			ev.recordOrder(plan, v.occ, vp)
+			if vp.empty {
+				continue
+			}
+			kept = append(kept, v)
+			for k, li := range vp.order {
+				lp := &plan.body[li]
+				if lp.builtin == notBuiltin && len(vp.boundCols[k]) > 0 {
+					ev.relationFor(lp, v.occ).EnsureIndex(vp.boundCols[k])
+				}
+			}
+		}
+		versions = kept
 	}
 	bufs := make([]emitBuf, len(versions))
 	errs := make([]error, len(versions))
@@ -1292,6 +1501,11 @@ func (ev *evaluator) runNaiveStratum(level int) error {
 		if ev.stats.Iterations > ev.opt.MaxIterations {
 			return ErrIterationLimit
 		}
+		// Naive iterations replan too, but lazily (inserts land mid-pass
+		// here, so there is no frozen state to plan against up front) and
+		// without empty-version skipping — naive exists as an answer-set
+		// cross-check, not a bit-identical one.
+		ev.planEpoch++
 		before := ev.stats.FactsDerived
 		versions := 0
 		var evalErr error

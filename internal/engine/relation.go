@@ -447,6 +447,12 @@ func (r *Relation) match(cols []int, vals []int32) []int32 {
 		}
 		scols, svals = sc, sv
 	}
+	return r.indexFor(scols).probe(r, svals)
+}
+
+// indexFor returns (building if absent) the index for the given ascending
+// bound-column set.
+func (r *Relation) indexFor(scols []int) *index {
 	mask := colMask(scols)
 	r.mu.RLock()
 	ix, ok := r.indexes[mask]
@@ -468,7 +474,20 @@ func (r *Relation) match(cols []int, vals []int32) []int32 {
 		}
 		r.mu.Unlock()
 	}
-	return ix.probe(r, svals)
+	return ix
+}
+
+// EnsureIndex builds (if absent) the bound-column index for cols, which
+// must be ascending. The join planner calls it at pass barriers for the
+// index signatures the pass's probes will use, so Parallel workers find
+// every bucket already built instead of contending on the lazy
+// double-checked build mid-pass. Empty cols is a no-op (unconstrained
+// scans read the arena directly).
+func (r *Relation) EnsureIndex(cols []int) {
+	if len(cols) == 0 {
+		return
+	}
+	r.indexFor(cols)
 }
 
 // Clone returns a copy-on-write snapshot: O(1), sharing the arena and

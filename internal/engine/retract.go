@@ -135,6 +135,9 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 		}
 		ev.next = make(map[string]*Relation)
 		deltas := ev.deltaSizes()
+		// Over-delete passes replan per pass like every other barrier;
+		// marking joins run against the pre-deletion relations.
+		ev.planEpoch++
 		versions := 0
 		var passErr error
 	overdelete:
@@ -212,6 +215,9 @@ func RetractContext(ctx context.Context, p *ast.Program, prev *Result, removed *
 	// propagate the re-insertions semi-naively.
 	ev.deltas = make(map[string]*Relation)
 	ev.next = make(map[string]*Relation)
+	// Phase 2 physically changed the relations, so re-derivation plans
+	// must not reuse phase 1's cached orders.
+	ev.planEpoch++
 	for pi, plan := range ev.plans {
 		if !ev.active[pi] {
 			continue

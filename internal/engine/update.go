@@ -122,6 +122,11 @@ func UpdateContext(ctx context.Context, p *ast.Program, prev *Result, added *Dat
 func (ev *evaluator) updatePass() error {
 	deltas := ev.deltaSizes()
 	before := ev.stats.FactsDerived
+	// Incremental passes are sequential, but they replan per pass like
+	// the fixpoint barriers do: live sizes (the base relation's delta
+	// among them) drive the order, and provably empty versions are
+	// skipped.
+	ev.planEpoch++
 	versions := 0
 	var evalErr error
 outer:
@@ -134,6 +139,12 @@ outer:
 				continue
 			}
 			versions++
+			if vp := ev.planVersion(plan, occ); vp != nil {
+				ev.recordOrder(plan, occ, vp)
+				if vp.empty {
+					continue
+				}
+			}
 			evalErr = ev.run.evalRule(plan, occ, func(t Tuple, just []FactRef) error {
 				return ev.insertDerived(plan, t, just, true)
 			})
@@ -147,6 +158,7 @@ outer:
 		ev.tc.Pass(trace.PassStats{
 			Pass: ev.stats.Iterations, Stratum: 0, Versions: versions,
 			Facts: ev.stats.FactsDerived - before, Deltas: deltas,
+			Orders: ev.takeOrders(),
 		})
 	}
 	return evalErr

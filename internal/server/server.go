@@ -65,6 +65,11 @@ type Config struct {
 	NoOptimize bool
 	// Parallel evaluates with the parallel semi-naive strategy.
 	Parallel bool
+	// NoReorder disables the runtime join planner (per-pass greedy
+	// reordering from live cardinalities), which is on by default for
+	// query evaluation and store maintenance. Requests can override per
+	// query with the "reorder" field.
+	NoReorder bool
 	// DefaultTimeout bounds queries that do not request a timeout
 	// (0 = unbounded).
 	DefaultTimeout time.Duration
@@ -178,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 		WALDir:        cfg.WALDir,
 		SnapshotEvery: cfg.SnapshotEvery,
 		MaxFacts:      cfg.MaxFacts,
+		ReorderJoins:  !cfg.NoReorder,
 		Registry:      reg,
 		Logger:        logger,
 		Now:           now,
@@ -341,10 +347,19 @@ func goalKey(g ast.Atom) string {
 	return sb.String()
 }
 
-// compile returns the (possibly optimized) program for one goal,
-// cached by the goal's canonical shape.
-func (s *Server) compile(goal ast.Atom) (*compiled, bool, error) {
+// compile returns the (possibly optimized) program for one goal, cached
+// by the goal's canonical shape plus the planner setting the evaluation
+// will run with: a per-request reorder override must never be served an
+// entry cached under the other setting (today the compiled program is
+// planner-independent, but the key guarantees no cross-contamination as
+// the planner becomes binding-pattern-aware).
+func (s *Server) compile(goal ast.Atom, reorder bool) (*compiled, bool, error) {
 	key := goalKey(goal)
+	if reorder {
+		key += ",plan=on"
+	} else {
+		key += ",plan=off"
+	}
 	if c, ok := s.cache.Load(key); ok {
 		s.reg.CacheHit()
 		return c.(*compiled), true, nil
@@ -376,8 +391,13 @@ type queryRequest struct {
 	// (capped by the server's MaxTimeout).
 	TimeoutMS int64 `json:"timeout_ms"`
 	// Trace includes the per-rule metrics of this evaluation in the
-	// response.
+	// response, plus the per-pass records with the join orders the
+	// runtime planner chose and the cardinalities that justified them.
 	Trace bool `json:"trace"`
+	// Reorder overrides the server's join-planner default for this query:
+	// true forces the planner on, false forces it off, absent uses the
+	// server setting (on unless -no-reorder).
+	Reorder *bool `json:"reorder,omitempty"`
 }
 
 // statsJSON mirrors engine.Stats with stable JSON names.
@@ -410,6 +430,10 @@ type queryResponse struct {
 	Stats          statsJSON         `json:"stats"`
 	ElapsedSeconds float64           `json:"elapsed_seconds"`
 	Rules          []trace.RuleStats `json:"rules,omitempty"`
+	// Passes, under request Trace, is the pass timeline: facts per pass,
+	// delta sizes, and — with the join planner on — the per-version
+	// orders chosen at each barrier with their justifying cardinalities.
+	Passes []trace.PassStats `json:"passes,omitempty"`
 }
 
 type errorResponse struct {
@@ -629,8 +653,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tb.End(decodeSpan)
 	tb.SetDetail(goal.String())
 
+	// The join planner is on by default; -no-reorder flips the default
+	// and the request's "reorder" field overrides either way.
+	reorder := !s.cfg.NoReorder
+	if req.Reorder != nil {
+		reorder = *req.Reorder
+	}
+
 	compileSpan := tb.Start("compile")
-	c, cached, err := s.compile(goal)
+	c, cached, err := s.compile(goal, reorder)
 	if err != nil {
 		fail(errStatus(err), err)
 		return
@@ -699,10 +730,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer finish()
 
 	opts := existdlog.EvalOptions{
-		BooleanCut: true,
-		Trace:      true,
-		MaxFacts:   s.cfg.MaxFacts,
-		PassTimes:  tb != nil,
+		BooleanCut:   true,
+		Trace:        true,
+		MaxFacts:     s.cfg.MaxFacts,
+		PassTimes:    tb != nil,
+		ReorderJoins: reorder,
 	}
 	if s.cfg.Parallel {
 		opts.Strategy = existdlog.Parallel
@@ -758,6 +790,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Trace && res.Trace != nil {
 		resp.Rules = res.Trace.Rules
+		resp.Passes = res.Trace.Passes
 	}
 	s.log.LogAttrs(r.Context(), slog.LevelInfo, "query",
 		slog.String("request", id),

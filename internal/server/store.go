@@ -165,6 +165,9 @@ type StoreConfig struct {
 	// hitting it disables materialization rather than installing an
 	// incomplete fixpoint.
 	MaxFacts int
+	// ReorderJoins evaluates maintenance passes (materialization,
+	// incremental Update/Retract) with the runtime join planner.
+	ReorderJoins bool
 	// ProbeEvery is how often a degraded store probes the log for
 	// recovery (0 = 500ms). Tests shorten it.
 	ProbeEvery time.Duration
@@ -195,7 +198,7 @@ func NewStore(prog *ast.Program, edb *engine.Database, cfg StoreConfig) (*Store,
 		// Full fixpoint: no cut, so Update/Retract see every derivation.
 		// MaxFacts keeps a divergent program from hanging the applier;
 		// a partial result is never installed (matEnabled flips instead).
-		opt:         engine.Options{MaxFacts: cfg.MaxFacts},
+		opt:         engine.Options{MaxFacts: cfg.MaxFacts, ReorderJoins: cfg.ReorderJoins},
 		reg:         cfg.Registry,
 		log:         cfg.Logger,
 		now:         cfg.Now,

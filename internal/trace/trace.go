@@ -53,6 +53,32 @@ type DeltaSize struct {
 	Size      int    `json:"size"`
 }
 
+// VersionOrder records the join order the runtime planner chose for one
+// rule version at one pass barrier, with the live cardinalities that
+// justified it. Only present when both tracing and join reordering are
+// on.
+type VersionOrder struct {
+	// Rule is the index in the evaluated program's rule list.
+	Rule int `json:"rule"`
+	// Occ is the delta occurrence this version reads (-1 for the
+	// naive/startup version).
+	Occ int `json:"occ"`
+	// Literals are the body literals in chosen evaluation order: the
+	// relation key, prefixed "~" for the delta occurrence and "not " for
+	// negated literals.
+	Literals []string `json:"literals"`
+	// Sizes[i] is the live cardinality the planner saw for Literals[i]
+	// (the delta size for the delta literal, 1 for builtins).
+	Sizes []int `json:"sizes"`
+	// Bound[i] counts Literals[i]'s argument positions bound at probe
+	// time — the bound-column index signature its probes use.
+	Bound []int `json:"bound"`
+	// Skipped marks a version the planner proved empty at the barrier (a
+	// positive body relation or delta with zero live tuples): it was
+	// never evaluated this pass.
+	Skipped bool `json:"skipped,omitempty"`
+}
+
 // PassStats describe one fixpoint pass.
 type PassStats struct {
 	// Pass is the 1-based pass number (the engine's Stats.Iterations value
@@ -69,6 +95,9 @@ type PassStats struct {
 	Deltas []DeltaSize `json:"deltas,omitempty"`
 	// Cuts lists the rules the boolean cut retired at this pass's barrier.
 	Cuts []int `json:"cuts,omitempty"`
+	// Orders are the join orders the runtime planner chose for this
+	// pass's versions (empty unless both tracing and reordering are on).
+	Orders []VersionOrder `json:"orders,omitempty"`
 }
 
 // Metrics is a full evaluation trace: per-rule counters plus the pass
@@ -152,7 +181,33 @@ func (m *Metrics) Format(w io.Writer) {
 			line += "cut rules " + strings.Join(cuts, ",")
 		}
 		fmt.Fprintf(w, "%-4d %7d %8d %8d  %s\n", p.Pass, p.Stratum, p.Versions, p.Facts, line)
+		for _, o := range p.Orders {
+			fmt.Fprintf(w, "     %s\n", o.String())
+		}
 	}
+}
+
+// String renders one chosen order as the CLI's plan line, e.g.
+// "plan r2#0: ~a/2=3 > e/2=512(1b)" — each literal with the live
+// cardinality that justified its place and, when nonzero, the number of
+// bound argument positions its probes use. A version the planner proved
+// empty at the barrier ends in "skipped (empty join)".
+func (o *VersionOrder) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan r%d#%d:", o.Rule+1, o.Occ)
+	for i, lit := range o.Literals {
+		if i > 0 {
+			sb.WriteString(" >")
+		}
+		fmt.Fprintf(&sb, " %s=%d", lit, o.Sizes[i])
+		if o.Bound[i] > 0 {
+			fmt.Fprintf(&sb, "(%db)", o.Bound[i])
+		}
+	}
+	if o.Skipped {
+		sb.WriteString(" skipped (empty join)")
+	}
+	return sb.String()
 }
 
 // Collector accumulates one evaluation's Metrics. The merge-side methods
